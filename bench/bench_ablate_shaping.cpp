@@ -1,0 +1,57 @@
+// Ablation (section 6(a)): does spectral shaping of the jamming signal
+// matter? An adversary can band-pass filter around the two FSK tones; if
+// the jammer spreads its power uniformly over the 300 kHz channel, that
+// filtering sheds most of the jamming energy and decoding recovers. The
+// shaped jammer concentrates power where decoding happens, so filtering
+// gains the adversary nothing.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "shield/experiments.hpp"
+
+using namespace hs;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::print_header("Ablation - shaped vs constant jamming profile",
+                      "Gollakota et al., SIGCOMM 2011, section 6(a)/Fig. 5");
+
+  const std::size_t packets = args.trials_or(60);
+  struct Cell {
+    shield::JamProfile profile;
+    bool bandpass;
+    const char* label;
+  };
+  const Cell cells[] = {
+      {shield::JamProfile::kShaped, false, "shaped jam, optimal decoder   "},
+      {shield::JamProfile::kShaped, true, "shaped jam, band-pass attack  "},
+      {shield::JamProfile::kConstant, false,
+       "constant jam, optimal decoder "},
+      {shield::JamProfile::kConstant, true,
+       "constant jam, band-pass attack"},
+  };
+  std::printf(
+      "  configuration                    adversary BER at jam margin\n"
+      "                                   +8 dB    +14 dB   +20 dB\n");
+  for (const auto& cell : cells) {
+    std::printf("  %s", cell.label);
+    for (double margin : {8.0, 14.0, 20.0}) {
+      shield::EavesdropOptions opt;
+      opt.seed = args.seed;
+      opt.location_index = 1;
+      opt.packets = packets;
+      opt.jam_profile = cell.profile;
+      opt.bandpass_attack = cell.bandpass;
+      opt.use_margin_override = true;
+      opt.jam_margin_db = margin;
+      const auto result = shield::run_eavesdrop_experiment(opt);
+      std::printf("   %.4f", result.mean_ber());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\n  expected: only the constant-profile jammer loses effectiveness\n"
+      "  (lower adversary BER), especially against the filtering attack —\n"
+      "  which is why the shield shapes its jamming signal.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Section 10.1(c): calibrating b_thresh — how many header bit flips can a
+// packet show at the shield while still being accepted by the IMD?
+// Paper: 3 of 5000 packets, max 2 flips; b_thresh set conservatively to 4.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "shield/calibrate.hpp"
+
+using namespace hs;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::print_header("b_thresh calibration (section 10.1(c))",
+                      "Gollakota et al., SIGCOMM 2011, section 10.1(c)");
+
+  const auto result =
+      shield::estimate_bthresh(args.seed, args.trials_or(500));
+  std::printf("  adversarial packets sent:                      %zu\n",
+              result.packets_sent);
+  std::printf("  errored at shield yet accepted by IMD:         %zu\n",
+              result.shield_error_imd_ok);
+  std::printf("  max header bit flips among those packets:      %zu\n",
+              result.max_header_bit_flips);
+  std::printf("  recommended b_thresh:                          %zu\n",
+              result.recommended_bthresh);
+  std::printf(
+      "\n  paper: 3/5000 packets, max 2 header bit flips, b_thresh = 4.\n"
+      "  (In simulation the shield's SNR strictly dominates the IMD's —\n"
+      "  the in-body path costs the IMD 20 dB — so such packets are even\n"
+      "  rarer than on the paper's testbed; the conservative b_thresh = 4\n"
+      "  is kept.)\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 10: CDF of the shield's packet loss rate when decoding the IMD's
+// packets while jamming them. Paper: average ~0.2%.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "shield/experiments.hpp"
+
+using namespace hs;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::print_header("Fig. 10 - shield packet loss while jamming",
+                      "Gollakota et al., SIGCOMM 2011, Figure 10");
+
+  const std::size_t packets = args.trials_or(200);
+  const std::size_t runs = 12;
+  std::vector<double> losses;
+  std::size_t total = 0, decoded = 0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    shield::EavesdropOptions opt;
+    opt.seed = args.seed + r;
+    opt.location_index = 1;
+    opt.packets = packets;
+    const auto result = shield::run_eavesdrop_experiment(opt);
+    losses.push_back(result.shield_packet_loss());
+    total += result.imd_packets;
+    decoded += result.shield_decoded;
+  }
+  bench::print_cdf(losses, "packet loss");
+  std::printf(
+      "\n  overall: %zu/%zu IMD packets decoded through jamming "
+      "(loss %.4f)\n",
+      decoded, total,
+      1.0 - static_cast<double>(decoded) / static_cast<double>(total));
+  std::printf("  paper: average packet loss ~0.002.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Active-attack demo (section 10.3): an adversary forges unauthorized
+// commands — first with commercial-programmer (FCC) power, then with 100x
+// custom hardware. The shield reactively jams every packet addressed to
+// its IMD, and raises an alarm when the transmission is powerful enough
+// that jamming alone may not stop it.
+#include <cstdio>
+
+#include "adversary/active.hpp"
+#include "channel/geometry.hpp"
+#include "imd/protocol.hpp"
+#include "shield/deployment.hpp"
+
+using namespace hs;
+
+namespace {
+
+void attack_round(bool shield_present, double adversary_power_dbm,
+                  int location) {
+  shield::DeploymentOptions options;
+  options.seed = 4242;
+  options.shield_present = shield_present;
+  options.shield_config.enable_passive_jamming = false;  // observer clarity
+  shield::Deployment world(options);
+
+  const auto& loc = channel::testbed_location(location);
+  adversary::ActiveAdversaryConfig acfg;
+  acfg.position = loc.position();
+  acfg.walls = loc.walls;
+  acfg.fsk = options.imd_profile.fsk;
+  acfg.tx_power_dbm = adversary_power_dbm;
+  adversary::ActiveAdversaryNode adversary(acfg, world.medium(),
+                                           &world.log());
+  world.add_node(&adversary);
+  world.run_for(2e-3);
+
+  const auto therapy_before = world.imd().therapy();
+  imd::TherapySettings tampered = therapy_before;
+  tampered.pacing_rate_bpm = 40;   // bradycardia-inducing
+  tampered.mode = imd::PacingMode::kOff;
+
+  int successes = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto before = world.imd().stats().therapy_changes;
+    adversary.inject(imd::make_set_therapy(options.imd_profile.serial,
+                                           static_cast<std::uint8_t>(i),
+                                           tampered));
+    world.run_for(45e-3);
+    if (world.imd().stats().therapy_changes > before) ++successes;
+  }
+
+  std::printf("  %-14s  %+5.0f dBm  %4.1f m %-4s  therapy hijacked %2d/10",
+              shield_present ? "shield ON " : "shield OFF",
+              adversary_power_dbm, loc.distance_m,
+              loc.line_of_sight() ? "LOS" : "NLOS", successes);
+  if (shield_present) {
+    std::printf("   [jams=%zu alarms=%zu]", world.shield().stats().active_jams,
+                world.shield().stats().alarms);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "An adversary tries to switch the patient's pacing mode OFF and the\n"
+      "pacing rate to 40 bpm with forged set-therapy commands.\n\n");
+
+  std::printf("-- commercial-programmer power (FCC limit), 1.2 m away --\n");
+  attack_round(false, -16.0, 3);
+  attack_round(true, -16.0, 3);
+
+  std::printf("\n-- 100x custom hardware, 20 cm away --\n");
+  attack_round(false, 4.0, 1);
+  attack_round(true, 4.0, 1);
+
+  std::printf("\n-- 100x custom hardware, 27 m away through walls --\n");
+  attack_round(false, 4.0, 13);
+  attack_round(true, 4.0, 13);
+
+  std::printf(
+      "\nWith the shield on, FCC-power attacks fail everywhere; the 100x\n"
+      "adversary can still win point-blank, but never silently — every\n"
+      "success coincides with a patient alarm (SIGCOMM 2011, Fig. 11-13).\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Coexistence demo (section 11): the shield shares the 402-405 MHz MICS
+// band with meteorological radiosondes — the band's primary users. It must
+// jam every packet addressed to its IMD and nothing else, and release the
+// medium within microseconds of an adversary going quiet.
+#include <cstdio>
+
+#include "shield/experiments.hpp"
+
+using namespace hs;
+
+int main() {
+  shield::CoexistenceOptions options;
+  options.seed = 99;
+  options.location_indices = {1, 3, 5, 7};
+  options.rounds_per_location = 5;
+
+  std::printf(
+      "A USRP alternates between unauthorized IMD commands and Vaisala\n"
+      "RS92-style GMSK radiosonde frames, from four testbed locations...\n\n");
+  const auto result = shield::run_coexistence_experiment(options);
+
+  std::printf("  unauthorized IMD commands: %zu sent, %zu jammed\n",
+              result.imd_commands_sent, result.imd_commands_jammed);
+  std::printf("  radiosonde cross-traffic:  %zu sent, %zu jammed\n",
+              result.cross_frames_sent, result.cross_frames_jammed);
+  double mean = 0;
+  for (double us : result.turnaround_us) mean += us;
+  if (!result.turnaround_us.empty()) {
+    mean /= static_cast<double>(result.turnaround_us.size());
+  }
+  std::printf("  turn-around after an adversary stops: %.0f us on average\n",
+              mean);
+  std::printf(
+      "\nThe shield is not a blind jammer: it denies exactly the traffic\n"
+      "addressed to its IMD and nothing else (SIGCOMM 2011, Table 2).\n");
+  return 0;
+}

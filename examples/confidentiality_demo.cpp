@@ -1,0 +1,91 @@
+// Confidentiality demo (the passive-adversary story of section 10.2):
+// an eavesdropper 20 cm from the patient records the IMD's transmissions.
+// Without the shield it reads the telemetry verbatim; with the shield
+// jamming, its optimal decoder does no better than coin flipping — while
+// the shield itself decodes everything through its own jamming.
+#include <cstdio>
+#include <memory>
+
+#include "adversary/eavesdropper.hpp"
+#include "adversary/monitor.hpp"
+#include "channel/geometry.hpp"
+#include "imd/programmer.hpp"
+#include "imd/protocol.hpp"
+#include "shield/deployment.hpp"
+
+using namespace hs;
+
+namespace {
+
+void run_scenario(bool shield_present) {
+  shield::DeploymentOptions options;
+  options.seed = 77;
+  options.shield_present = shield_present;
+  shield::Deployment world(options);
+
+  adversary::MonitorConfig ecfg;
+  ecfg.name = "eavesdropper";
+  ecfg.position = channel::testbed_location(1).position();  // 20 cm away
+  ecfg.fsk = options.imd_profile.fsk;
+  ecfg.capture_samples = true;
+  adversary::MonitorNode eavesdropper(ecfg, world.medium());
+  world.add_node(&eavesdropper);
+
+  std::unique_ptr<imd::ProgrammerNode> programmer;
+  if (!shield_present) {
+    imd::ProgrammerConfig pcfg;
+    pcfg.fsk = options.imd_profile.fsk;
+    programmer = std::make_unique<imd::ProgrammerNode>(
+        pcfg, world.medium(), &world.log());
+    world.add_node(programmer.get());
+  }
+  world.run_for(2e-3);
+
+  std::printf("%s\n", shield_present
+                          ? "== shield PRESENT (jamming the replies) =="
+                          : "== shield ABSENT ==");
+  double ber_sum = 0;
+  int packets = 0;
+  for (int i = 0; i < 8; ++i) {
+    eavesdropper.clear_capture();
+    const auto cmd = imd::make_interrogate(options.imd_profile.serial,
+                                           static_cast<std::uint8_t>(i));
+    if (shield_present) {
+      world.shield().relay_command(cmd);
+    } else {
+      programmer->send(cmd);
+    }
+    world.run_for(45e-3);
+    const auto& truth = world.imd().last_tx_bits();
+    if (truth.empty()) continue;
+    const std::size_t offset = world.imd().last_tx_start_sample() -
+                               eavesdropper.capture_start();
+    const auto result = adversary::eavesdrop_decode(
+        options.imd_profile.fsk, eavesdropper.capture(), offset,
+        phy::BitView(truth.data(), truth.size()));
+    ber_sum += result.ber;
+    ++packets;
+  }
+  std::printf("  eavesdropper BER over %d telemetry packets: %.3f %s\n",
+              packets, ber_sum / packets,
+              shield_present ? "(random guessing)" : "(reads everything!)");
+  if (shield_present) {
+    std::printf("  shield decoded %zu/%d packets through its own jamming\n",
+                world.shield().stats().replies_decoded, packets);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "An eavesdropper sits 20 cm from the patient and records the IMD's\n"
+      "telemetry with an optimal FSK decoder and genie timing.\n\n");
+  run_scenario(/*shield_present=*/false);
+  run_scenario(/*shield_present=*/true);
+  std::printf(
+      "The shield and the IMD share an information channel inaccessible\n"
+      "to anyone else (Gollakota et al., SIGCOMM 2011, section 10.2).\n");
+  return 0;
+}

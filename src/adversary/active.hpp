@@ -1,0 +1,82 @@
+// Active adversary node (paper section 3.2(b) and 10.3).
+//
+// Capabilities, matching the threat model exactly:
+//  * forge its own unauthorized command frames (a sophisticated adversary
+//    that reverse-engineered the protocol),
+//  * record a legitimate programmer's transmissions, demodulate them to
+//    bits to strip channel noise, and re-modulate for clean replay
+//    (exactly the procedure of section 9),
+//  * transmit at the FCC limit (commercial programmer hardware) or at
+//    100x the shield's power (custom hardware, Fig. 13).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "channel/medium.hpp"
+#include "dsp/rng.hpp"
+#include "imd/protocol.hpp"
+#include "phy/receiver.hpp"
+#include "sim/node.hpp"
+#include "sim/trace.hpp"
+#include "sim/transmit_scheduler.hpp"
+
+namespace hs::adversary {
+
+struct ActiveAdversaryConfig {
+  std::string name = "adversary";
+  channel::Vec2 position{5.0, 0.0};
+  int walls = 0;
+  double tx_power_dbm = -16.0;  ///< FCC limit; +20 dB for the 100x attacker
+  phy::FskParams fsk{};
+};
+
+class ActiveAdversaryNode : public sim::RadioNode {
+ public:
+  ActiveAdversaryNode(const ActiveAdversaryConfig& config,
+                      channel::Medium& medium, sim::EventLog* log);
+
+  void produce(const sim::StepContext& ctx, channel::Medium& medium) override;
+  void consume(const sim::StepContext& ctx, channel::Medium& medium) override;
+  std::string_view name() const override { return config_.name; }
+
+  channel::AntennaId antenna() const { return antenna_; }
+  const ActiveAdversaryConfig& config() const { return config_; }
+
+  /// Forges and schedules an unauthorized command at an absolute sample;
+  /// anything in the past (including the default 0) is clamped to the
+  /// next block boundary.
+  void inject(const phy::Frame& frame, std::size_t at_sample = 0);
+
+  /// Replays previously recorded bits (demodulate-then-remodulate replay).
+  void replay(const phy::BitVec& recorded_bits, std::size_t at_sample = 0);
+
+  /// Frames recorded off the air (CRC-valid only), for later replay.
+  const std::vector<phy::ReceivedFrame>& recordings() const {
+    return recordings_;
+  }
+  void clear_recordings() { recordings_.clear(); }
+
+  /// True while a scheduled transmission is pending or on the air.
+  bool transmitting() const { return !tx_.empty(); }
+
+  /// Retunes the transmit power (e.g., the P_thresh calibration sweep or
+  /// switching to the 100x high-power mode).
+  void set_tx_power_dbm(double dbm);
+  double tx_power_dbm() const { return config_.tx_power_dbm; }
+
+ private:
+  ActiveAdversaryConfig config_;
+  channel::AntennaId antenna_;
+  sim::EventLog* log_;
+  phy::FskModulator modulator_;
+  phy::FskReceiver receiver_;
+  sim::TransmitScheduler tx_;
+  double tx_amplitude_;
+  std::vector<phy::ReceivedFrame> recordings_;
+  std::size_t next_allowed_sample_ = 0;
+  std::size_t next_block_start_ = 0;  ///< tracked from produce()
+};
+
+}  // namespace hs::adversary

@@ -1,0 +1,54 @@
+#include "adversary/eavesdropper.hpp"
+
+#include <cmath>
+
+#include "dsp/fir.hpp"
+
+namespace hs::adversary {
+
+using dsp::cplx;
+
+EavesdropResult eavesdrop_decode(const phy::FskParams& fsk,
+                                 dsp::SampleView capture, std::size_t start,
+                                 phy::BitView truth) {
+  EavesdropResult result;
+  phy::NoncoherentFskDemod demod(fsk);
+  result.bits = demod.demodulate(capture, start, truth.size());
+  result.ber = phy::bit_error_rate(truth, result.bits);
+  return result;
+}
+
+EavesdropResult eavesdrop_decode_bandpass(const phy::FskParams& fsk,
+                                          dsp::SampleView capture,
+                                          std::size_t start,
+                                          phy::BitView truth,
+                                          double half_bw_hz) {
+  EavesdropResult result;
+  // Two narrow filters, one per tone; decode by comparing the energy of
+  // the filtered outputs over each symbol.
+  constexpr std::size_t kTaps = 65;
+  dsp::ComplexFirFilter filter0(
+      dsp::design_bandpass(fsk.f0, half_bw_hz, fsk.fs, kTaps));
+  dsp::ComplexFirFilter filter1(
+      dsp::design_bandpass(fsk.f1, half_bw_hz, fsk.fs, kTaps));
+  const dsp::Samples y0 = filter0.process(capture);
+  const dsp::Samples y1 = filter1.process(capture);
+  const std::size_t delay = (kTaps - 1) / 2;  // linear-phase group delay
+
+  result.bits.reserve(truth.size());
+  for (std::size_t s = 0; s < truth.size(); ++s) {
+    const std::size_t a = start + delay + s * fsk.sps;
+    const std::size_t b = a + fsk.sps;
+    if (b > y0.size()) break;
+    double e0 = 0.0, e1 = 0.0;
+    for (std::size_t i = a; i < b; ++i) {
+      e0 += std::norm(y0[i]);
+      e1 += std::norm(y1[i]);
+    }
+    result.bits.push_back(e1 > e0 ? 1 : 0);
+  }
+  result.ber = phy::bit_error_rate(truth, result.bits);
+  return result;
+}
+
+}  // namespace hs::adversary

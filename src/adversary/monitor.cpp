@@ -1,0 +1,32 @@
+#include "adversary/monitor.hpp"
+
+namespace hs::adversary {
+
+MonitorNode::MonitorNode(const MonitorConfig& config, channel::Medium& medium)
+    : config_(config), receiver_(config.fsk) {
+  channel::AntennaDesc desc;
+  desc.name = config_.name + "/antenna";
+  desc.position = config_.position;
+  desc.walls = config_.walls;
+  desc.body_loss_db = config_.body_loss_db;
+  antenna_ = medium.add_antenna(desc);
+}
+
+void MonitorNode::produce(const sim::StepContext&, channel::Medium&) {
+  // Purely passive.
+}
+
+void MonitorNode::consume(const sim::StepContext& ctx,
+                          channel::Medium& medium) {
+  const auto rx = medium.rx(antenna_);
+  if (config_.capture_samples && capture_.size() < config_.capture_limit) {
+    if (capture_.empty()) capture_start_ = ctx.block_start_sample();
+    capture_.insert(capture_.end(), rx.begin(), rx.end());
+  }
+  receiver_.push(rx);
+  while (auto frame = receiver_.pop()) {
+    frames_.push_back(std::move(*frame));
+  }
+}
+
+}  // namespace hs::adversary

@@ -1,0 +1,56 @@
+// Testbed geometry reproducing Fig. 6 of the paper: the IMD (under 1 cm of
+// bacon and 4 cm of ground beef), the shield sitting on the body surface
+// next to it, and 18 adversary/eavesdropper locations ordered in descending
+// order of received signal strength at the shield, spanning 20 cm to 30 m
+// with both line-of-sight and non-line-of-sight (through-wall) placements.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace hs::channel {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double distance(const Vec2& a, const Vec2& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// One adversary location of the Fig. 6 floor plan.
+struct TestbedLocation {
+  int index = 0;          ///< 1-based, as in Fig. 6
+  double distance_m = 0;  ///< range to the IMD/shield cluster
+  int walls = 0;          ///< intervening walls (0 => line of sight)
+  bool line_of_sight() const { return walls == 0; }
+  Vec2 position() const { return {distance_m, 0.0}; }
+};
+
+inline constexpr std::size_t kTestbedLocationCount = 18;
+
+/// The 18 locations. Indices 1..18 are ordered by descending RSSI at the
+/// shield under the default path-loss model, as the paper orders them.
+/// Figures 11/12 use locations 1..14; Fig. 13 uses all 18.
+const std::array<TestbedLocation, kTestbedLocationCount>& testbed_locations();
+
+/// Look up a location by its 1-based Fig. 6 index.
+const TestbedLocation& testbed_location(int index);
+
+/// Fixed cluster geometry: IMD at the origin (implanted), shield worn on
+/// the body surface 2 cm away, in-body observer co-located with the IMD.
+inline constexpr Vec2 kImdPosition{0.0, 0.0};
+inline constexpr Vec2 kShieldPosition{0.0, 0.02};
+inline constexpr double kShieldImdDistanceM = 0.02;
+
+/// Extra attenuation from the shield's antennas toward the IMD beyond air
+/// and body loss: the necklace's antennas face outward, away from the
+/// chest, so only a fraction of the jamming energy couples inward. This is
+/// the knob calibrated against Table 1 (P_thresh) of the paper.
+inline constexpr double kShieldToImdDirectivityLossDb = 3.0;
+
+}  // namespace hs::channel

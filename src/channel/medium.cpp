@@ -1,0 +1,152 @@
+#include "channel/medium.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/units.hpp"
+
+namespace hs::channel {
+
+using dsp::cplx;
+
+Medium::Medium(double fs, std::size_t block_size, std::uint64_t seed,
+               LinkBudgetConfig budget)
+    : fs_(fs),
+      block_size_(block_size),
+      budget_(budget),
+      rng_(seed, "medium") {
+  if (fs_ <= 0 || block_size_ == 0) {
+    throw std::invalid_argument("Medium: invalid fs/block size");
+  }
+}
+
+AntennaId Medium::add_antenna(const AntennaDesc& desc) {
+  const AntennaId id = antennas_.size();
+  antennas_.push_back(desc);
+  tx_.emplace_back(block_size_, cplx{});
+  tx_active_.push_back(false);
+  rx_.emplace_back(block_size_, cplx{});
+
+  // Grow the pair matrix to (n+1)^2, preserving existing entries.
+  const std::size_t n = antennas_.size();
+  std::vector<PairState> grown(n * n);
+  for (std::size_t f = 0; f + 1 < n; ++f) {
+    for (std::size_t t = 0; t + 1 < n; ++t) {
+      grown[f * n + t] = pairs_[f * (n - 1) + t];
+    }
+  }
+  pairs_ = std::move(grown);
+
+  // Draw initial phase/shadowing for links touching the new antenna.
+  for (AntennaId other = 0; other < id; ++other) redraw_pair(other, id);
+  return id;
+}
+
+Medium::PairState& Medium::pair(AntennaId from, AntennaId to) {
+  return pairs_.at(from * antennas_.size() + to);
+}
+
+const Medium::PairState& Medium::pair(AntennaId from, AntennaId to) const {
+  return pairs_.at(from * antennas_.size() + to);
+}
+
+void Medium::redraw_pair(AntennaId a, AntennaId b) {
+  const double d = distance(antennas_[a].position, antennas_[b].position);
+  const cplx phase = rng_.random_phase();
+  double shadow = 0.0;
+  if (d >= budget_.shadowing_min_distance_m &&
+      budget_.shadowing_sigma_db > 0.0) {
+    shadow = rng_.gaussian(0.0, budget_.shadowing_sigma_db);
+  }
+  // Reciprocal channel: same draw in both directions.
+  pair(a, b).phase = phase;
+  pair(a, b).shadow_db = shadow;
+  pair(b, a).phase = phase;
+  pair(b, a).shadow_db = shadow;
+}
+
+void Medium::set_pair_gain(AntennaId from, AntennaId to, cplx gain) {
+  pair(from, to).override_gain = gain;
+}
+
+void Medium::add_pair_loss(AntennaId a, AntennaId b, double extra_db) {
+  pair(a, b).extra_loss_db += extra_db;
+  pair(b, a).extra_loss_db += extra_db;
+}
+
+void Medium::rerandomize() {
+  for (AntennaId a = 0; a < antennas_.size(); ++a) {
+    for (AntennaId b = a + 1; b < antennas_.size(); ++b) {
+      redraw_pair(a, b);
+    }
+  }
+}
+
+double Medium::nominal_loss_db(AntennaId from, AntennaId to) const {
+  const AntennaDesc& f = antennas_.at(from);
+  const AntennaDesc& t = antennas_.at(to);
+  const double d = distance(f.position, t.position);
+  const int walls = f.walls + t.walls;
+  return budget_.pathloss.air_loss_db(d, walls) + f.body_loss_db +
+         t.body_loss_db + f.extra_loss_db + t.extra_loss_db +
+         pair(from, to).extra_loss_db;
+}
+
+cplx Medium::gain(AntennaId from, AntennaId to) const {
+  const PairState& p = pair(from, to);
+  if (p.override_gain) return *p.override_gain;
+  if (from == to) return cplx{};  // no implicit self-coupling
+  const double loss_db = nominal_loss_db(from, to) + p.shadow_db;
+  return dsp::db_to_amplitude(-loss_db) * p.phase;
+}
+
+void Medium::begin_block() {
+  for (std::size_t i = 0; i < tx_.size(); ++i) {
+    if (tx_active_[i]) {
+      std::fill(tx_[i].begin(), tx_[i].end(), cplx{});
+      tx_active_[i] = false;
+    }
+  }
+}
+
+void Medium::set_tx(AntennaId from, dsp::SampleView samples) {
+  if (samples.size() > block_size_) {
+    throw std::invalid_argument("Medium::set_tx: block too large");
+  }
+  auto& buf = tx_.at(from);
+  for (std::size_t i = 0; i < samples.size(); ++i) buf[i] += samples[i];
+  tx_active_[from] = true;
+}
+
+double Medium::noise_power() const {
+  return dsp::dbm_to_mw(budget_.noise_floor_dbm);
+}
+
+void Medium::mix() {
+  const double n0 = noise_enabled_ ? noise_power() : 0.0;
+  for (AntennaId to = 0; to < antennas_.size(); ++to) {
+    auto& out = rx_[to];
+    if (n0 > 0.0) {
+      rng_.fill_awgn(out, n0);
+    } else {
+      std::fill(out.begin(), out.end(), cplx{});
+    }
+    for (AntennaId from = 0; from < antennas_.size(); ++from) {
+      if (!tx_active_[from]) continue;
+      const cplx g = gain(from, to);
+      if (std::norm(g) <= 0.0) continue;
+      const auto& in = tx_[from];
+      for (std::size_t i = 0; i < block_size_; ++i) out[i] += g * in[i];
+    }
+  }
+}
+
+dsp::SampleView Medium::rx(AntennaId at) const { return rx_.at(at); }
+
+double Medium::rx_power(AntennaId at) const {
+  double s = 0.0;
+  for (const cplx& x : rx_.at(at)) s += std::norm(x);
+  return s / static_cast<double>(block_size_);
+}
+
+}  // namespace hs::channel

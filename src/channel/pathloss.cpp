@@ -1,0 +1,28 @@
+#include "channel/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hs::channel {
+namespace {
+constexpr double kSpeedOfLight = 299792458.0;
+constexpr double kPi = 3.141592653589793238462643383279502884;
+}  // namespace
+
+double PathLossModel::wavelength_m() const { return kSpeedOfLight / carrier_hz; }
+
+double PathLossModel::reference_loss_db() const {
+  // Friis free-space loss at the reference distance.
+  const double ratio = 4.0 * kPi * reference_m / wavelength_m();
+  return 20.0 * std::log10(ratio);
+}
+
+double PathLossModel::air_loss_db(double distance_m, int walls) const {
+  const double d = std::max(distance_m, min_distance_m);
+  const double loss = reference_loss_db() +
+                      10.0 * exponent * std::log10(d / reference_m) +
+                      wall_loss_db * static_cast<double>(walls);
+  return std::max(loss, 0.0);
+}
+
+}  // namespace hs::channel

@@ -1,0 +1,36 @@
+// Path-loss models for the MICS-band link budget.
+//
+// The paper's link budget (section 6(b)) decomposes the IMD->anyone loss as
+// L = L_body + L_air, with L_air shared between the co-located shield and
+// IMD toward any third location (equation 7). We model L_air as free-space
+// loss at 403 MHz plus a log-distance slope and a per-wall penetration
+// penalty for the non-line-of-sight testbed locations of Fig. 6, and
+// L_body as a fixed in-body attenuation (up to 40 dB per [47]; default 20).
+#pragma once
+
+namespace hs::channel {
+
+struct PathLossModel {
+  double carrier_hz = 403.5e6;     ///< middle of the 402-405 MHz MICS band
+  double exponent = 2.0;           ///< log-distance slope
+  double wall_loss_db = 8.0;       ///< penetration loss per intervening wall
+  double reference_m = 1.0;        ///< reference distance for the model
+  double min_distance_m = 0.02;    ///< clamp for near-field adjacency
+
+  /// Free-space reference loss at `reference_m` (about 24.5 dB at 403 MHz).
+  double reference_loss_db() const;
+
+  /// Air path loss in dB over `distance_m` crossing `walls` walls.
+  /// Clamped to be >= 0.
+  double air_loss_db(double distance_m, int walls = 0) const;
+
+  /// Wavelength in meters (~0.744 m; why MICS antennas cannot be separated
+  /// by half a wavelength on a wearable, which motivates the paper).
+  double wavelength_m() const;
+};
+
+/// Default in-body attenuation applied to links that cross into the body
+/// (the IMD's transmissions out, and anything transmitted toward the IMD).
+inline constexpr double kDefaultBodyLossDb = 20.0;
+
+}  // namespace hs::channel

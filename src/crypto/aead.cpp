@@ -1,0 +1,59 @@
+#include "crypto/aead.hpp"
+
+#include <cstring>
+
+namespace hs::crypto {
+namespace {
+
+Poly1305::Key poly_key(const Aead::Key& key, const Aead::Nonce& nonce) {
+  const auto block = ChaCha20::block(key, nonce, 0);
+  Poly1305::Key pk;
+  std::memcpy(pk.data(), block.data(), pk.size());
+  return pk;
+}
+
+Poly1305::Tag compute_tag(const Poly1305::Key& pk, ByteView aad,
+                          ByteView ciphertext) {
+  Poly1305 mac(pk);
+  const std::uint8_t zeros[16] = {0};
+  mac.update(aad);
+  if (aad.size() % 16 != 0) {
+    mac.update(ByteView(zeros, 16 - aad.size() % 16));
+  }
+  mac.update(ciphertext);
+  if (ciphertext.size() % 16 != 0) {
+    mac.update(ByteView(zeros, 16 - ciphertext.size() % 16));
+  }
+  std::uint8_t lengths[16];
+  const std::uint64_t aad_len = aad.size();
+  const std::uint64_t ct_len = ciphertext.size();
+  for (int i = 0; i < 8; ++i) {
+    lengths[i] = static_cast<std::uint8_t>(aad_len >> (8 * i));
+    lengths[8 + i] = static_cast<std::uint8_t>(ct_len >> (8 * i));
+  }
+  mac.update(ByteView(lengths, 16));
+  return mac.finalize();
+}
+
+}  // namespace
+
+Aead::Sealed Aead::seal(const Key& key, const Nonce& nonce, ByteView plaintext,
+                        ByteView aad) {
+  ChaCha20 cipher(key, nonce, /*counter=*/1);
+  Sealed out;
+  out.ciphertext = cipher.apply(plaintext);
+  out.tag = compute_tag(poly_key(key, nonce), aad,
+                        ByteView(out.ciphertext.data(), out.ciphertext.size()));
+  return out;
+}
+
+std::optional<Bytes> Aead::open(const Key& key, const Nonce& nonce,
+                                ByteView ciphertext, const Tag& tag,
+                                ByteView aad) {
+  const auto expected = compute_tag(poly_key(key, nonce), aad, ciphertext);
+  if (!Poly1305::verify(expected, tag)) return std::nullopt;
+  ChaCha20 cipher(key, nonce, /*counter=*/1);
+  return cipher.apply(ciphertext);
+}
+
+}  // namespace hs::crypto

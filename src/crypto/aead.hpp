@@ -1,0 +1,32 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439 section 2.8).
+#pragma once
+
+#include <optional>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/poly1305.hpp"
+
+namespace hs::crypto {
+
+class Aead {
+ public:
+  using Key = ChaCha20::Key;
+  using Nonce = ChaCha20::Nonce;
+  using Tag = Poly1305::Tag;
+
+  struct Sealed {
+    Bytes ciphertext;
+    Tag tag;
+  };
+
+  /// Encrypts `plaintext` and authenticates it together with `aad`.
+  static Sealed seal(const Key& key, const Nonce& nonce, ByteView plaintext,
+                     ByteView aad);
+
+  /// Verifies and decrypts. Returns nullopt if authentication fails.
+  static std::optional<Bytes> open(const Key& key, const Nonce& nonce,
+                                   ByteView ciphertext, const Tag& tag,
+                                   ByteView aad);
+};
+
+}  // namespace hs::crypto

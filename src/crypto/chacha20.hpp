@@ -1,0 +1,41 @@
+// ChaCha20 stream cipher (RFC 8439), from scratch.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/sha256.hpp"  // for Bytes/ByteView aliases
+
+namespace hs::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kBlockSize = 64;
+
+  using Key = std::array<std::uint8_t, kKeySize>;
+  using Nonce = std::array<std::uint8_t, kNonceSize>;
+
+  ChaCha20(const Key& key, const Nonce& nonce, std::uint32_t counter = 0);
+
+  /// XORs the keystream into `data` (encrypt == decrypt).
+  void apply(std::uint8_t* data, std::size_t len);
+  Bytes apply(ByteView data);
+
+  /// Generates one raw 64-byte keystream block at the given counter
+  /// (used by Poly1305 key derivation, which needs block 0).
+  static std::array<std::uint8_t, kBlockSize> block(const Key& key,
+                                                    const Nonce& nonce,
+                                                    std::uint32_t counter);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, kBlockSize> keystream_;
+  std::size_t keystream_pos_ = kBlockSize;  // forces refill on first use
+};
+
+}  // namespace hs::crypto

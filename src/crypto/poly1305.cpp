@@ -1,0 +1,189 @@
+#include "crypto/poly1305.hpp"
+
+#include <cstring>
+
+namespace hs::crypto {
+namespace {
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+         (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+
+}  // namespace
+
+Poly1305::Poly1305(const Key& key) {
+  // r with required clamping.
+  r_[0] = load_le32(key.data() + 0) & 0x3ffffff;
+  r_[1] = (load_le32(key.data() + 3) >> 2) & 0x3ffff03;
+  r_[2] = (load_le32(key.data() + 6) >> 4) & 0x3ffc0ff;
+  r_[3] = (load_le32(key.data() + 9) >> 6) & 0x3f03fff;
+  r_[4] = (load_le32(key.data() + 12) >> 8) & 0x00fffff;
+  for (int i = 0; i < 5; ++i) h_[i] = 0;
+  for (int i = 0; i < 4; ++i) pad_[i] = load_le32(key.data() + 16 + 4 * i);
+}
+
+void Poly1305::process_block(const std::uint8_t* block, std::size_t len,
+                             bool final) {
+  std::uint8_t tmp[17] = {0};
+  std::memcpy(tmp, block, len);
+  const std::uint32_t hibit = final && len < 16 ? 0 : (1 << 24);
+  if (final && len < 16) tmp[len] = 1;
+
+  h_[0] += load_le32(tmp + 0) & 0x3ffffff;
+  h_[1] += (load_le32(tmp + 3) >> 2) & 0x3ffffff;
+  h_[2] += (load_le32(tmp + 6) >> 4) & 0x3ffffff;
+  h_[3] += (load_le32(tmp + 9) >> 6) & 0x3ffffff;
+  h_[4] += (load_le32(tmp + 12) >> 8) | hibit;
+
+  const std::uint64_t s1 = r_[1] * 5, s2 = r_[2] * 5, s3 = r_[3] * 5,
+                      s4 = r_[4] * 5;
+  std::uint64_t d0 = (std::uint64_t)h_[0] * r_[0] + (std::uint64_t)h_[1] * s4 +
+                     (std::uint64_t)h_[2] * s3 + (std::uint64_t)h_[3] * s2 +
+                     (std::uint64_t)h_[4] * s1;
+  std::uint64_t d1 = (std::uint64_t)h_[0] * r_[1] +
+                     (std::uint64_t)h_[1] * r_[0] + (std::uint64_t)h_[2] * s4 +
+                     (std::uint64_t)h_[3] * s3 + (std::uint64_t)h_[4] * s2;
+  std::uint64_t d2 = (std::uint64_t)h_[0] * r_[2] +
+                     (std::uint64_t)h_[1] * r_[1] +
+                     (std::uint64_t)h_[2] * r_[0] + (std::uint64_t)h_[3] * s4 +
+                     (std::uint64_t)h_[4] * s3;
+  std::uint64_t d3 = (std::uint64_t)h_[0] * r_[3] +
+                     (std::uint64_t)h_[1] * r_[2] +
+                     (std::uint64_t)h_[2] * r_[1] +
+                     (std::uint64_t)h_[3] * r_[0] + (std::uint64_t)h_[4] * s4;
+  std::uint64_t d4 = (std::uint64_t)h_[0] * r_[4] +
+                     (std::uint64_t)h_[1] * r_[3] +
+                     (std::uint64_t)h_[2] * r_[2] +
+                     (std::uint64_t)h_[3] * r_[1] +
+                     (std::uint64_t)h_[4] * r_[0];
+
+  std::uint64_t c = d0 >> 26;
+  h_[0] = d0 & 0x3ffffff;
+  d1 += c;
+  c = d1 >> 26;
+  h_[1] = d1 & 0x3ffffff;
+  d2 += c;
+  c = d2 >> 26;
+  h_[2] = d2 & 0x3ffffff;
+  d3 += c;
+  c = d3 >> 26;
+  h_[3] = d3 & 0x3ffffff;
+  d4 += c;
+  c = d4 >> 26;
+  h_[4] = d4 & 0x3ffffff;
+  h_[0] += static_cast<std::uint32_t>(c * 5);
+  c = h_[0] >> 26;
+  h_[0] &= 0x3ffffff;
+  h_[1] += static_cast<std::uint32_t>(c);
+}
+
+void Poly1305::update(ByteView data) {
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(data.size(), 16 - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == 16) {
+      process_block(buffer_.data(), 16, false);
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 16 <= data.size()) {
+    process_block(data.data() + offset, 16, false);
+    offset += 16;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffer_len_ = data.size() - offset;
+  }
+}
+
+Poly1305::Tag Poly1305::finalize() {
+  if (buffer_len_ > 0) {
+    process_block(buffer_.data(), buffer_len_, true);
+    buffer_len_ = 0;
+  }
+  // Full carry + compute h + -p.
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+  std::uint32_t c = h1 >> 26;
+  h1 &= 0x3ffffff;
+  h2 += c;
+  c = h2 >> 26;
+  h2 &= 0x3ffffff;
+  h3 += c;
+  c = h3 >> 26;
+  h3 &= 0x3ffffff;
+  h4 += c;
+  c = h4 >> 26;
+  h4 &= 0x3ffffff;
+  h0 += c * 5;
+  c = h0 >> 26;
+  h0 &= 0x3ffffff;
+  h1 += c;
+
+  std::uint32_t g0 = h0 + 5;
+  c = g0 >> 26;
+  g0 &= 0x3ffffff;
+  std::uint32_t g1 = h1 + c;
+  c = g1 >> 26;
+  g1 &= 0x3ffffff;
+  std::uint32_t g2 = h2 + c;
+  c = g2 >> 26;
+  g2 &= 0x3ffffff;
+  std::uint32_t g3 = h3 + c;
+  c = g3 >> 26;
+  g3 &= 0x3ffffff;
+  std::uint32_t g4 = h4 + c - (1u << 26);
+
+  const std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
+  h0 = (h0 & ~mask) | (g0 & mask);
+  h1 = (h1 & ~mask) | (g1 & mask);
+  h2 = (h2 & ~mask) | (g2 & mask);
+  h3 = (h3 & ~mask) | (g3 & mask);
+  h4 = (h4 & ~mask) | (g4 & mask);
+
+  // h = h % 2^128, then add pad.
+  const std::uint32_t hh0 = h0 | (h1 << 26);
+  const std::uint32_t hh1 = (h1 >> 6) | (h2 << 20);
+  const std::uint32_t hh2 = (h2 >> 12) | (h3 << 14);
+  const std::uint32_t hh3 = (h3 >> 18) | (h4 << 8);
+
+  std::uint64_t f = (std::uint64_t)hh0 + pad_[0];
+  Tag tag;
+  tag[0] = static_cast<std::uint8_t>(f);
+  tag[1] = static_cast<std::uint8_t>(f >> 8);
+  tag[2] = static_cast<std::uint8_t>(f >> 16);
+  tag[3] = static_cast<std::uint8_t>(f >> 24);
+  f = (f >> 32) + hh1 + pad_[1];
+  tag[4] = static_cast<std::uint8_t>(f);
+  tag[5] = static_cast<std::uint8_t>(f >> 8);
+  tag[6] = static_cast<std::uint8_t>(f >> 16);
+  tag[7] = static_cast<std::uint8_t>(f >> 24);
+  f = (f >> 32) + hh2 + pad_[2];
+  tag[8] = static_cast<std::uint8_t>(f);
+  tag[9] = static_cast<std::uint8_t>(f >> 8);
+  tag[10] = static_cast<std::uint8_t>(f >> 16);
+  tag[11] = static_cast<std::uint8_t>(f >> 24);
+  f = (f >> 32) + hh3 + pad_[3];
+  tag[12] = static_cast<std::uint8_t>(f);
+  tag[13] = static_cast<std::uint8_t>(f >> 8);
+  tag[14] = static_cast<std::uint8_t>(f >> 16);
+  tag[15] = static_cast<std::uint8_t>(f >> 24);
+  return tag;
+}
+
+Poly1305::Tag Poly1305::mac(const Key& key, ByteView data) {
+  Poly1305 p(key);
+  p.update(data);
+  return p.finalize();
+}
+
+bool Poly1305::verify(const Tag& a, const Tag& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < kTagSize; ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace hs::crypto

@@ -1,0 +1,42 @@
+// Poly1305 one-time authenticator (RFC 8439), from scratch.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/sha256.hpp"  // Bytes/ByteView
+
+namespace hs::crypto {
+
+class Poly1305 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kTagSize = 16;
+
+  using Key = std::array<std::uint8_t, kKeySize>;
+  using Tag = std::array<std::uint8_t, kTagSize>;
+
+  explicit Poly1305(const Key& key);
+
+  void update(ByteView data);
+  Tag finalize();
+
+  /// One-shot MAC.
+  static Tag mac(const Key& key, ByteView data);
+
+  /// Constant-time tag comparison.
+  static bool verify(const Tag& a, const Tag& b);
+
+ private:
+  void process_block(const std::uint8_t* block, std::size_t len, bool final);
+
+  // 130-bit accumulator in 26-bit limbs.
+  std::uint32_t r_[5];
+  std::uint32_t h_[5];
+  std::uint32_t pad_[4];
+  std::array<std::uint8_t, 16> buffer_;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace hs::crypto

@@ -1,0 +1,104 @@
+#include "crypto/secure_channel.hpp"
+
+#include <cstring>
+
+namespace hs::crypto {
+namespace {
+
+constexpr std::uint64_t kReplayWindowBits = 64;
+
+Aead::Key derive_key(ByteView psk, std::uint64_t session_id,
+                     std::string_view label) {
+  std::uint8_t salt[8];
+  for (int i = 0; i < 8; ++i) {
+    salt[i] = static_cast<std::uint8_t>(session_id >> (8 * i));
+  }
+  const auto okm = hkdf_sha256(
+      ByteView(salt, 8), psk,
+      ByteView(reinterpret_cast<const std::uint8_t*>(label.data()),
+               label.size()),
+      Aead::Key{}.size());
+  Aead::Key key;
+  std::memcpy(key.data(), okm.data(), key.size());
+  return key;
+}
+
+}  // namespace
+
+SecureChannel::SecureChannel(ChannelRole role, ByteView psk,
+                             std::uint64_t session_id)
+    : session_id_(session_id) {
+  const auto shield_to_prog = derive_key(psk, session_id, "shield->prog");
+  const auto prog_to_shield = derive_key(psk, session_id, "prog->shield");
+  if (role == ChannelRole::kShield) {
+    send_key_ = shield_to_prog;
+    recv_key_ = prog_to_shield;
+  } else {
+    send_key_ = prog_to_shield;
+    recv_key_ = shield_to_prog;
+  }
+}
+
+Aead::Nonce SecureChannel::make_nonce(std::uint64_t sequence,
+                                      bool /*sending*/) const {
+  // 12-byte nonce: 4 bytes of session id low bits, 8 bytes of sequence.
+  Aead::Nonce nonce{};
+  for (int i = 0; i < 4; ++i) {
+    nonce[i] = static_cast<std::uint8_t>(session_id_ >> (8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    nonce[4 + i] = static_cast<std::uint8_t>(sequence >> (8 * i));
+  }
+  return nonce;
+}
+
+SecureChannel::Envelope SecureChannel::send(ByteView plaintext) {
+  Envelope env;
+  env.sequence = send_seq_++;
+  std::uint8_t aad[16];
+  for (int i = 0; i < 8; ++i) {
+    aad[i] = static_cast<std::uint8_t>(session_id_ >> (8 * i));
+    aad[8 + i] = static_cast<std::uint8_t>(env.sequence >> (8 * i));
+  }
+  const auto sealed = Aead::seal(send_key_, make_nonce(env.sequence, true),
+                                 plaintext, ByteView(aad, 16));
+  env.ciphertext = sealed.ciphertext;
+  env.tag = sealed.tag;
+  return env;
+}
+
+std::optional<Bytes> SecureChannel::receive(const Envelope& envelope) {
+  // Replay check before decryption work.
+  if (recv_any_) {
+    if (envelope.sequence <= recv_highest_) {
+      const std::uint64_t age = recv_highest_ - envelope.sequence;
+      if (age >= kReplayWindowBits) return std::nullopt;     // too old
+      if (recv_window_ & (1ULL << age)) return std::nullopt;  // replay
+    }
+  }
+  std::uint8_t aad[16];
+  for (int i = 0; i < 8; ++i) {
+    aad[i] = static_cast<std::uint8_t>(session_id_ >> (8 * i));
+    aad[8 + i] = static_cast<std::uint8_t>(envelope.sequence >> (8 * i));
+  }
+  auto plain = Aead::open(
+      recv_key_, make_nonce(envelope.sequence, false),
+      ByteView(envelope.ciphertext.data(), envelope.ciphertext.size()),
+      envelope.tag, ByteView(aad, 16));
+  if (!plain) return std::nullopt;
+
+  // Advance the replay window only after successful authentication.
+  if (!recv_any_ || envelope.sequence > recv_highest_) {
+    const std::uint64_t shift =
+        recv_any_ ? envelope.sequence - recv_highest_ : 0;
+    recv_window_ = (shift >= kReplayWindowBits) ? 0 : (recv_window_ << shift);
+    recv_window_ |= 1ULL;
+    recv_highest_ = envelope.sequence;
+    recv_any_ = true;
+  } else {
+    recv_window_ |= (1ULL << (recv_highest_ - envelope.sequence));
+  }
+  return plain;
+}
+
+}  // namespace hs::crypto

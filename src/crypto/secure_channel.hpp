@@ -1,0 +1,59 @@
+// Authenticated encrypted session between the shield and an authorized
+// programmer (paper section 4: "We assume the existence of an authenticated,
+// encrypted channel between the shield and the programmer").
+//
+// The channel derives directional keys from a pre-shared secret with
+// HKDF-SHA256, encrypts each message with ChaCha20-Poly1305 under a
+// monotonically increasing sequence-number nonce, and rejects replays and
+// reordering beyond a sliding window.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "crypto/aead.hpp"
+
+namespace hs::crypto {
+
+/// Identifies which end of the channel this endpoint is; the two directions
+/// use independent keys.
+enum class ChannelRole { kShield, kProgrammer };
+
+class SecureChannel {
+ public:
+  /// `psk` is the pre-shared pairing secret (e.g., provisioned by the
+  /// clinic); `session_id` must be unique per session (the shield picks a
+  /// random one and sends it in the clear during session setup).
+  SecureChannel(ChannelRole role, ByteView psk, std::uint64_t session_id);
+
+  struct Envelope {
+    std::uint64_t sequence = 0;
+    Bytes ciphertext;
+    Aead::Tag tag;
+  };
+
+  /// Encrypts and authenticates an outgoing message.
+  Envelope send(ByteView plaintext);
+
+  /// Verifies, decrypts, and replay-checks an incoming envelope.
+  /// Returns nullopt on authentication failure or replay.
+  std::optional<Bytes> receive(const Envelope& envelope);
+
+  std::uint64_t session_id() const { return session_id_; }
+  std::uint64_t next_send_sequence() const { return send_seq_; }
+
+ private:
+  Aead::Nonce make_nonce(std::uint64_t sequence, bool sending) const;
+
+  Aead::Key send_key_;
+  Aead::Key recv_key_;
+  std::uint64_t session_id_;
+  std::uint64_t send_seq_ = 0;
+  // Sliding replay window over receive sequence numbers.
+  std::uint64_t recv_highest_ = 0;
+  std::uint64_t recv_window_ = 0;  // bit i => (recv_highest_ - i) seen
+  bool recv_any_ = false;
+};
+
+}  // namespace hs::crypto

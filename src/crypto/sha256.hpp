@@ -1,0 +1,52 @@
+// SHA-256 (FIPS 180-4), from scratch. Backs HMAC/HKDF key derivation for
+// the shield <-> programmer secure channel the paper assumes in section 4.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hs::crypto {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Absorbs more input. May be called repeatedly.
+  void update(ByteView data);
+
+  /// Finalizes and returns the digest. The object must not be reused
+  /// afterwards without calling reset().
+  Digest finalize();
+
+  /// Resets to the initial state.
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// HMAC-SHA256 (RFC 2104).
+Sha256::Digest hmac_sha256(ByteView key, ByteView message);
+
+/// HKDF-SHA256 extract+expand (RFC 5869). `length` <= 255*32.
+Bytes hkdf_sha256(ByteView salt, ByteView ikm, ByteView info,
+                  std::size_t length);
+
+}  // namespace hs::crypto

@@ -1,0 +1,80 @@
+#include "dsp/correlate.hpp"
+
+#include <cmath>
+
+namespace hs::dsp {
+
+Samples cross_correlate(SampleView signal, SampleView reference) {
+  if (signal.size() < reference.size() || reference.empty()) return {};
+  const std::size_t lags = signal.size() - reference.size() + 1;
+  Samples out(lags);
+  for (std::size_t k = 0; k < lags; ++k) {
+    cplx acc{};
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      acc += signal[k + i] * std::conj(reference[i]);
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> normalized_correlation(SampleView signal,
+                                           SampleView reference) {
+  if (signal.size() < reference.size() || reference.empty()) return {};
+  const std::size_t lags = signal.size() - reference.size() + 1;
+  double ref_energy = 0.0;
+  for (cplx r : reference) ref_energy += std::norm(r);
+  if (ref_energy <= 0.0) return std::vector<double>(lags, 0.0);
+
+  // Running local energy of the signal window.
+  double win_energy = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    win_energy += std::norm(signal[i]);
+  }
+  std::vector<double> out(lags);
+  for (std::size_t k = 0; k < lags; ++k) {
+    cplx acc{};
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      acc += signal[k + i] * std::conj(reference[i]);
+    }
+    const double denom = std::sqrt(ref_energy * std::max(win_energy, 1e-30));
+    out[k] = std::abs(acc) / denom;
+    if (k + 1 < lags) {
+      win_energy += std::norm(signal[k + reference.size()]);
+      win_energy -= std::norm(signal[k]);
+    }
+  }
+  return out;
+}
+
+CorrelationPeak find_peak(SampleView signal, SampleView reference) {
+  CorrelationPeak peak;
+  const auto mags = normalized_correlation(signal, reference);
+  if (mags.empty()) return peak;
+  for (std::size_t k = 0; k < mags.size(); ++k) {
+    if (mags[k] > peak.magnitude) {
+      peak.magnitude = mags[k];
+      peak.lag = k;
+    }
+  }
+  cplx acc{};
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    acc += signal[peak.lag + i] * std::conj(reference[i]);
+  }
+  peak.value = acc;
+  return peak;
+}
+
+cplx estimate_flat_channel(SampleView received, SampleView reference) {
+  cplx num{};
+  double denom = 0.0;
+  const std::size_t n = std::min(received.size(), reference.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    num += received[i] * std::conj(reference[i]);
+    denom += std::norm(reference[i]);
+  }
+  if (denom <= 0.0) return {};
+  return num / denom;
+}
+
+}  // namespace hs::dsp

@@ -1,0 +1,37 @@
+// Cross-correlation and matched filtering, used for preamble detection,
+// symbol timing recovery, and channel probing (the shield correlates its
+// known probe against the receive-antenna signal to estimate H_self and
+// H_jam->rec).
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/types.hpp"
+
+namespace hs::dsp {
+
+/// Sliding cross-correlation of `signal` against `reference`:
+/// out[k] = sum_i signal[k + i] * conj(reference[i]),
+/// for k in [0, signal.size() - reference.size()].
+Samples cross_correlate(SampleView signal, SampleView reference);
+
+/// Normalized correlation magnitude in [0, 1] at each lag (correlation
+/// coefficient against the reference's energy and the local signal energy).
+std::vector<double> normalized_correlation(SampleView signal,
+                                           SampleView reference);
+
+struct CorrelationPeak {
+  std::size_t lag = 0;
+  double magnitude = 0.0;  ///< normalized in [0, 1]
+  cplx value;              ///< raw complex correlation at the peak
+};
+
+/// Finds the strongest normalized correlation peak. Returns magnitude 0 if
+/// `signal` is shorter than `reference`.
+CorrelationPeak find_peak(SampleView signal, SampleView reference);
+
+/// Least-squares estimate of a flat channel h given y ~= h * x:
+/// h = <y, x> / <x, x>. Returns 0 when x has no energy.
+cplx estimate_flat_channel(SampleView received, SampleView reference);
+
+}  // namespace hs::dsp

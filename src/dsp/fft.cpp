@@ -1,0 +1,102 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace hs::dsp {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+namespace {
+
+void transform(MutSampleView data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = data[i + k];
+        const cplx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft_inplace(MutSampleView data) { transform(data, /*inverse=*/false); }
+
+void ifft_inplace(MutSampleView data) { transform(data, /*inverse=*/true); }
+
+Samples fft(SampleView input) {
+  Samples out(input.begin(), input.end());
+  out.resize(next_pow2(out.empty() ? 1 : out.size()));
+  fft_inplace(out);
+  return out;
+}
+
+Samples ifft(SampleView input) {
+  Samples out(input.begin(), input.end());
+  out.resize(next_pow2(out.empty() ? 1 : out.size()));
+  ifft_inplace(out);
+  return out;
+}
+
+Samples fftshift(SampleView input) {
+  const std::size_t n = input.size();
+  Samples out(n);
+  const std::size_t half = (n + 1) / 2;  // first half moves to the back
+  for (std::size_t i = 0; i < n; ++i) out[i] = input[(i + half) % n];
+  return out;
+}
+
+Samples ifftshift(SampleView input) {
+  const std::size_t n = input.size();
+  Samples out(n);
+  const std::size_t half = n / 2;
+  for (std::size_t i = 0; i < n; ++i) out[i] = input[(i + half) % n];
+  return out;
+}
+
+double bin_frequency(std::size_t k, std::size_t n, double fs) {
+  const double f = static_cast<double>(k) * fs / static_cast<double>(n);
+  return (k < (n + 1) / 2) ? f : f - fs;
+}
+
+std::size_t frequency_bin(double freq_hz, std::size_t n, double fs) {
+  double f = freq_hz;
+  if (f < 0) f += fs;
+  auto k = static_cast<long long>(std::llround(f * static_cast<double>(n) / fs));
+  if (k < 0) k = 0;
+  if (k >= static_cast<long long>(n)) k = static_cast<long long>(n) - 1;
+  return static_cast<std::size_t>(k);
+}
+
+}  // namespace hs::dsp

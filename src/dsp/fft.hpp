@@ -1,0 +1,44 @@
+// Radix-2 FFT used for jamming-signal shaping (per-bin Gaussian noise ->
+// IFFT, paper section 6(a)) and for spectrum estimation (Figs. 4 and 5).
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/types.hpp"
+
+namespace hs::dsp {
+
+/// Returns the smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// True if n is a power of two (and non-zero).
+bool is_pow2(std::size_t n);
+
+/// In-place iterative radix-2 DIT FFT. `data.size()` must be a power of two.
+/// Forward transform, no normalization.
+void fft_inplace(MutSampleView data);
+
+/// In-place inverse FFT with 1/N normalization.
+void ifft_inplace(MutSampleView data);
+
+/// Out-of-place convenience wrappers (input is zero-padded to a power of
+/// two when necessary).
+Samples fft(SampleView input);
+Samples ifft(SampleView input);
+
+/// Reorders an FFT output so the DC bin sits at the center (matplotlib-style
+/// fftshift); used when printing spectra against physical frequency axes.
+Samples fftshift(SampleView input);
+
+/// Inverse of fftshift.
+Samples ifftshift(SampleView input);
+
+/// Frequency (Hz) of FFT bin `k` out of `n` at sample rate `fs`, mapped to
+/// the range [-fs/2, fs/2).
+double bin_frequency(std::size_t k, std::size_t n, double fs);
+
+/// Bin index (0..n-1) whose center frequency is closest to `freq_hz`
+/// (freq in [-fs/2, fs/2)).
+std::size_t frequency_bin(double freq_hz, std::size_t n, double fs);
+
+}  // namespace hs::dsp

@@ -1,0 +1,152 @@
+#include "dsp/fir.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/window.hpp"
+
+namespace hs::dsp {
+namespace {
+
+double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  return std::sin(kPi * x) / (kPi * x);
+}
+
+}  // namespace
+
+std::vector<double> design_lowpass(double normalized_cutoff,
+                                   std::size_t taps) {
+  if (normalized_cutoff <= 0.0 || normalized_cutoff >= 0.5) {
+    throw std::invalid_argument("design_lowpass: cutoff must be in (0, 0.5)");
+  }
+  if (taps % 2 == 0) {
+    throw std::invalid_argument("design_lowpass: tap count must be odd");
+  }
+  const auto w = make_window(WindowType::kHamming, taps);
+  std::vector<double> h(taps);
+  const double m = static_cast<double>(taps - 1) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double t = static_cast<double>(i) - m;
+    h[i] = 2.0 * normalized_cutoff * sinc(2.0 * normalized_cutoff * t) * w[i];
+    sum += h[i];
+  }
+  // Normalize to unit DC gain.
+  for (auto& v : h) v /= sum;
+  return h;
+}
+
+Samples design_bandpass(double center_hz, double half_width_hz, double fs,
+                        std::size_t taps) {
+  const auto lp = design_lowpass(half_width_hz / fs, taps);
+  Samples h(taps);
+  const double m = static_cast<double>(taps - 1) / 2.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double phase =
+        kTwoPi * center_hz / fs * (static_cast<double>(i) - m);
+    h[i] = lp[i] * cplx(std::cos(phase), std::sin(phase));
+  }
+  return h;
+}
+
+std::vector<double> design_gaussian(double bt, std::size_t sps,
+                                    std::size_t span_symbols) {
+  if (bt <= 0.0 || sps == 0 || span_symbols == 0) {
+    throw std::invalid_argument("design_gaussian: invalid parameters");
+  }
+  const std::size_t n = sps * span_symbols + 1;
+  std::vector<double> h(n);
+  // Standard GMSK Gaussian shaping: h(t) ~ exp(-2 pi^2 bt^2 t^2 / ln 2),
+  // t in symbol units.
+  const double alpha = 2.0 * kPi * kPi * bt * bt / std::log(2.0);
+  const double m = static_cast<double>(n - 1) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = (static_cast<double>(i) - m) / static_cast<double>(sps);
+    h[i] = std::exp(-alpha * t * t);
+    sum += h[i];
+  }
+  for (auto& v : h) v /= sum;
+  return h;
+}
+
+FirFilter::FirFilter(std::vector<double> taps) : taps_(std::move(taps)) {
+  if (taps_.empty()) throw std::invalid_argument("FirFilter: empty taps");
+  history_.assign(taps_.size(), cplx{});
+}
+
+cplx FirFilter::process(cplx x) {
+  history_[pos_] = x;
+  cplx acc{};
+  std::size_t idx = pos_;
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    acc += taps_[k] * history_[idx];
+    idx = (idx == 0) ? history_.size() - 1 : idx - 1;
+  }
+  pos_ = (pos_ + 1) % history_.size();
+  return acc;
+}
+
+void FirFilter::process(SampleView in, Samples& out) {
+  out.reserve(out.size() + in.size());
+  for (cplx x : in) out.push_back(process(x));
+}
+
+Samples FirFilter::process(SampleView in) {
+  Samples out;
+  process(in, out);
+  return out;
+}
+
+void FirFilter::reset() {
+  history_.assign(taps_.size(), cplx{});
+  pos_ = 0;
+}
+
+ComplexFirFilter::ComplexFirFilter(Samples taps) : taps_(std::move(taps)) {
+  if (taps_.empty()) {
+    throw std::invalid_argument("ComplexFirFilter: empty taps");
+  }
+  history_.assign(taps_.size(), cplx{});
+}
+
+cplx ComplexFirFilter::process(cplx x) {
+  history_[pos_] = x;
+  cplx acc{};
+  std::size_t idx = pos_;
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    acc += taps_[k] * history_[idx];
+    idx = (idx == 0) ? history_.size() - 1 : idx - 1;
+  }
+  pos_ = (pos_ + 1) % history_.size();
+  return acc;
+}
+
+void ComplexFirFilter::process(SampleView in, Samples& out) {
+  out.reserve(out.size() + in.size());
+  for (cplx x : in) out.push_back(process(x));
+}
+
+Samples ComplexFirFilter::process(SampleView in) {
+  Samples out;
+  process(in, out);
+  return out;
+}
+
+void ComplexFirFilter::reset() {
+  history_.assign(taps_.size(), cplx{});
+  pos_ = 0;
+}
+
+double fir_power_response(const std::vector<double>& taps, double freq_hz,
+                          double fs) {
+  cplx acc{};
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    const double phase = -kTwoPi * freq_hz / fs * static_cast<double>(i);
+    acc += taps[i] * cplx(std::cos(phase), std::sin(phase));
+  }
+  return std::norm(acc);
+}
+
+}  // namespace hs::dsp

@@ -1,0 +1,48 @@
+// Phase-continuous complex mixing (frequency shifting) and carrier
+// frequency offset (CFO) modelling.
+//
+// The shield "compensates for any carrier frequency offset between its RF
+// chain and that of the IMD" (paper section 6(a)); the Mixer and the CFO
+// estimator below provide that machinery, and the MICS channelizer uses the
+// Mixer to move 300 kHz channels to and from the 3 MHz wideband view.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/types.hpp"
+
+namespace hs::dsp {
+
+/// Streaming frequency shifter: multiplies by exp(j*2*pi*f/fs*n) with phase
+/// continuity across blocks.
+class Mixer {
+ public:
+  Mixer(double shift_hz, double fs);
+
+  cplx process(cplx x);
+  void process(SampleView in, Samples& out);
+  Samples process(SampleView in);
+
+  /// Retunes the oscillator without resetting phase.
+  void set_shift(double shift_hz);
+
+  double shift_hz() const { return shift_hz_; }
+
+  void reset_phase() { phase_ = 0.0; }
+
+ private:
+  double shift_hz_;
+  double fs_;
+  double phase_ = 0.0;       // radians
+  double phase_step_ = 0.0;  // radians/sample
+};
+
+/// Applies a static CFO of `offset_hz` to a copy of the signal.
+Samples apply_cfo(SampleView in, double offset_hz, double fs);
+
+/// Data-aided CFO estimate: given received = cfo(reference) * h, estimates
+/// the frequency offset in Hz by the phase slope of received .* conj(ref).
+/// Accurate within +-fs/(2*span) of zero. Returns 0 on degenerate input.
+double estimate_cfo(SampleView received, SampleView reference, double fs);
+
+}  // namespace hs::dsp

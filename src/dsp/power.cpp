@@ -1,0 +1,67 @@
+#include "dsp/power.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hs::dsp {
+
+double mean_power(SampleView x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (cplx v : x) s += std::norm(v);
+  return s / static_cast<double>(x.size());
+}
+
+double peak_power(SampleView x) {
+  double p = 0.0;
+  for (cplx v : x) p = std::max(p, std::norm(v));
+  return p;
+}
+
+double energy(SampleView x) {
+  double s = 0.0;
+  for (cplx v : x) s += std::norm(v);
+  return s;
+}
+
+void set_mean_power(MutSampleView x, double target_power) {
+  const double p = mean_power(x);
+  if (p <= 0.0) return;
+  const double scale = std::sqrt(target_power / p);
+  for (auto& v : x) v *= scale;
+}
+
+RssiMeter::RssiMeter(std::size_t window) : window_(window) {
+  if (window_ == 0) throw std::invalid_argument("RssiMeter: window == 0");
+}
+
+double RssiMeter::push(cplx x) {
+  const double p = std::norm(x);
+  buf_.push_back(p);
+  sum_ += p;
+  if (buf_.size() > window_) {
+    sum_ -= buf_.front();
+    buf_.pop_front();
+  }
+  ++count_;
+  return value();
+}
+
+double RssiMeter::push(SampleView x) {
+  double v = value();
+  for (cplx s : x) v = push(s);
+  return v;
+}
+
+double RssiMeter::value() const {
+  if (buf_.empty()) return 0.0;
+  return sum_ / static_cast<double>(buf_.size());
+}
+
+void RssiMeter::reset() {
+  buf_.clear();
+  sum_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace hs::dsp

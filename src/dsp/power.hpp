@@ -1,0 +1,53 @@
+// Power measurement: block averages and streaming RSSI with a sliding
+// window. The shield's clear-channel assessment, P_thresh alarm and
+// calibration routines are all built on these meters.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "dsp/types.hpp"
+
+namespace hs::dsp {
+
+/// Mean per-sample power of a block (|x|^2 averaged).
+double mean_power(SampleView x);
+
+/// Peak per-sample power of a block.
+double peak_power(SampleView x);
+
+/// Total energy (sum |x|^2).
+double energy(SampleView x);
+
+/// Scales `x` in place so its mean power equals `target_power`.
+/// No-op on all-zero input.
+void set_mean_power(MutSampleView x, double target_power);
+
+/// Streaming sliding-window RSSI meter.
+class RssiMeter {
+ public:
+  /// `window` is the averaging length in samples.
+  explicit RssiMeter(std::size_t window);
+
+  /// Consumes one sample, returns current windowed mean power.
+  double push(cplx x);
+
+  /// Consumes a block, returns the final windowed mean power.
+  double push(SampleView x);
+
+  /// Current windowed mean power (0 before any sample).
+  double value() const;
+
+  /// True once a full window has been observed.
+  bool warmed_up() const { return count_ >= window_; }
+
+  void reset();
+
+ private:
+  std::size_t window_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace hs::dsp

@@ -1,0 +1,60 @@
+#include "dsp/resample.hpp"
+
+#include <stdexcept>
+
+namespace hs::dsp {
+namespace {
+
+std::vector<double> antialias_taps(std::size_t factor, std::size_t taps) {
+  if (factor == 0) throw std::invalid_argument("resample: factor == 0");
+  if (factor == 1) return {1.0};
+  // Cutoff at 80% of Nyquist of the low rate to keep a usable passband.
+  return design_lowpass(0.4 / static_cast<double>(factor), taps);
+}
+
+}  // namespace
+
+Decimator::Decimator(std::size_t factor, std::size_t taps)
+    : factor_(factor), filter_(antialias_taps(factor, taps)) {}
+
+void Decimator::process(SampleView in, Samples& out) {
+  for (cplx x : in) {
+    const cplx y = filter_.process(x);
+    if (phase_ == 0) out.push_back(y);
+    phase_ = (phase_ + 1) % factor_;
+  }
+}
+
+Samples Decimator::process(SampleView in) {
+  Samples out;
+  process(in, out);
+  return out;
+}
+
+void Decimator::reset() {
+  filter_.reset();
+  phase_ = 0;
+}
+
+Interpolator::Interpolator(std::size_t factor, std::size_t taps)
+    : factor_(factor), filter_(antialias_taps(factor, taps)) {}
+
+void Interpolator::process(SampleView in, Samples& out) {
+  const double gain = static_cast<double>(factor_);
+  for (cplx x : in) {
+    out.push_back(filter_.process(x * gain));
+    for (std::size_t i = 1; i < factor_; ++i) {
+      out.push_back(filter_.process(cplx{}));
+    }
+  }
+}
+
+Samples Interpolator::process(SampleView in) {
+  Samples out;
+  process(in, out);
+  return out;
+}
+
+void Interpolator::reset() { filter_.reset(); }
+
+}  // namespace hs::dsp

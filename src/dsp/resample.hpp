@@ -1,0 +1,49 @@
+// Integer-factor decimation and interpolation with anti-alias filtering.
+// The MICS channelizer decimates the 3 MHz wideband stream by 10 to obtain
+// per-channel 300 kHz baseband, and interpolates by 10 on the way back up.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/fir.hpp"
+#include "dsp/types.hpp"
+
+namespace hs::dsp {
+
+/// Streaming decimator: anti-alias lowpass followed by keep-every-Mth.
+class Decimator {
+ public:
+  /// `factor` >= 1; `taps` odd count for the anti-alias filter.
+  Decimator(std::size_t factor, std::size_t taps = 101);
+
+  /// Consumes a block; appends decimated output samples to `out`.
+  void process(SampleView in, Samples& out);
+  Samples process(SampleView in);
+
+  std::size_t factor() const { return factor_; }
+  void reset();
+
+ private:
+  std::size_t factor_;
+  FirFilter filter_;
+  std::size_t phase_ = 0;
+};
+
+/// Streaming interpolator: zero-stuff by L then image-reject lowpass
+/// (gain L to preserve amplitude).
+class Interpolator {
+ public:
+  Interpolator(std::size_t factor, std::size_t taps = 101);
+
+  void process(SampleView in, Samples& out);
+  Samples process(SampleView in);
+
+  std::size_t factor() const { return factor_; }
+  void reset();
+
+ private:
+  std::size_t factor_;
+  FirFilter filter_;
+};
+
+}  // namespace hs::dsp

@@ -1,0 +1,101 @@
+#include "dsp/rng.hpp"
+
+#include <cmath>
+
+namespace hs::dsp {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t hash_stream_name(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng::Rng(std::uint64_t seed, std::string_view stream_name)
+    : Rng(seed ^ hash_stream_name(stream_name)) {}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 top bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = n * ((~std::uint64_t{0}) / n);
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Rng::gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 strictly in (0,1] to keep log() finite.
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  cached_gaussian_ = r * std::sin(kTwoPi * u2);
+  has_cached_gaussian_ = true;
+  return r * std::cos(kTwoPi * u2);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  return mean + stddev * gaussian();
+}
+
+cplx Rng::cgaussian(double variance) {
+  const double s = std::sqrt(variance / 2.0);
+  return {s * gaussian(), s * gaussian()};
+}
+
+cplx Rng::random_phase() {
+  const double phi = uniform(0.0, kTwoPi);
+  return {std::cos(phi), std::sin(phi)};
+}
+
+void Rng::fill_awgn(MutSampleView out, double power) {
+  for (auto& x : out) x = cgaussian(power);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+}  // namespace hs::dsp

@@ -1,0 +1,68 @@
+// Deterministic, named random-number streams.
+//
+// Every stochastic element of the simulator (thermal noise, jamming noise,
+// link phases, device jitter) draws from its own named stream derived from a
+// single experiment seed, so that (a) experiments are reproducible and (b)
+// changing how many draws one component makes does not perturb the others.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "dsp/types.hpp"
+
+namespace hs::dsp {
+
+/// xoshiro256++ PRNG seeded via SplitMix64. Small, fast, and good enough
+/// statistical quality for signal simulation (not for cryptography; the
+/// crypto module has its own primitives).
+class Rng {
+ public:
+  /// Seeds the stream from a 64-bit seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derives a stream from a parent seed and a stream name, so components
+  /// can own independent reproducible streams: Rng(seed, "thermal-noise").
+  Rng(std::uint64_t seed, std::string_view stream_name);
+
+  /// Next raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). `n` must be > 0.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Standard normal variate (Box-Muller, cached pair).
+  double gaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Circularly symmetric complex Gaussian with E[|z|^2] = variance.
+  cplx cgaussian(double variance = 1.0);
+
+  /// Uniform phase on the unit circle.
+  cplx random_phase();
+
+  /// Fills `out` with complex AWGN of the given per-sample power.
+  void fill_awgn(MutSampleView out, double power);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+/// Hashes a stream name into a 64-bit value (FNV-1a), used to derive
+/// independent named substreams from one experiment seed.
+std::uint64_t hash_stream_name(std::string_view name);
+
+}  // namespace hs::dsp

@@ -1,0 +1,29 @@
+// Core numeric types shared by every DSP and PHY module.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hs::dsp {
+
+/// Complex baseband sample. Double precision: the antidote-cancellation
+/// experiments measure power ratios down to -40 dB, where float rounding
+/// noise would contaminate the result.
+using cplx = std::complex<double>;
+
+/// A contiguous run of complex baseband samples.
+using Samples = std::vector<cplx>;
+
+/// Read-only view over samples (preferred for function parameters).
+using SampleView = std::span<const cplx>;
+
+/// Mutable view over samples.
+using MutSampleView = std::span<cplx>;
+
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+}  // namespace hs::dsp

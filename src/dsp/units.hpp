@@ -1,0 +1,28 @@
+// dB <-> linear conversions and small power helpers used across the stack.
+#pragma once
+
+#include <cmath>
+
+#include "dsp/types.hpp"
+
+namespace hs::dsp {
+
+/// Convert a linear power ratio to decibels. `p` must be > 0.
+inline double power_to_db(double p) { return 10.0 * std::log10(p); }
+
+/// Convert decibels to a linear power ratio.
+inline double db_to_power(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Convert a linear amplitude ratio to decibels.
+inline double amplitude_to_db(double a) { return 20.0 * std::log10(a); }
+
+/// Convert decibels to a linear amplitude ratio.
+inline double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+/// Convert milliwatts to dBm.
+inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+/// Convert dBm to milliwatts.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+}  // namespace hs::dsp

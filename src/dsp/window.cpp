@@ -1,0 +1,40 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+
+#include "dsp/types.hpp"
+
+namespace hs::dsp {
+
+std::vector<double> make_window(WindowType type, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n <= 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / denom;
+    switch (type) {
+      case WindowType::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * x);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * x);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * x) +
+               0.08 * std::cos(2.0 * kTwoPi * x);
+        break;
+    }
+  }
+  return w;
+}
+
+double window_power(const std::vector<double>& w) {
+  double s = 0.0;
+  for (double v : w) s += v * v;
+  return s;
+}
+
+}  // namespace hs::dsp

@@ -1,0 +1,22 @@
+// Window functions for FIR design and spectral estimation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hs::dsp {
+
+enum class WindowType {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+/// Returns the n-point window of the given type (symmetric form).
+std::vector<double> make_window(WindowType type, std::size_t n);
+
+/// Sum of squared window coefficients; normalizes Welch PSD estimates.
+double window_power(const std::vector<double>& w);
+
+}  // namespace hs::dsp

@@ -1,0 +1,23 @@
+#include "imd/battery.hpp"
+
+#include <algorithm>
+
+namespace hs::imd {
+
+Battery::Battery(double capacity_mj, double tx_power_mw, double idle_power_mw)
+    : capacity_mj_(capacity_mj),
+      tx_power_mw_(tx_power_mw),
+      idle_power_mw_(idle_power_mw),
+      remaining_mj_(capacity_mj) {}
+
+void Battery::drain_tx(double seconds) {
+  const double spent = tx_power_mw_ * seconds;
+  tx_spent_mj_ += spent;
+  remaining_mj_ = std::max(0.0, remaining_mj_ - spent);
+}
+
+void Battery::drain_idle(double seconds) {
+  remaining_mj_ = std::max(0.0, remaining_mj_ - idle_power_mw_ * seconds);
+}
+
+}  // namespace hs::imd

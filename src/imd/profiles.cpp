@@ -1,0 +1,22 @@
+#include "imd/profiles.hpp"
+
+namespace hs::imd {
+
+ImdProfile virtuoso_profile() {
+  ImdProfile p;
+  p.model_name = "Medtronic Virtuoso DR ICD";
+  // 10-byte serial number, as on the devices the paper tested (7(a)).
+  p.serial = {'V', 'I', 'R', '2', '0', '1', '1', '0', '0', '7'};
+  return p;
+}
+
+ImdProfile concerto_profile() {
+  ImdProfile p;
+  p.model_name = "Medtronic Concerto CRT-D";
+  p.serial = {'C', 'O', 'N', '2', '0', '1', '1', '0', '4', '2'};
+  // Slightly different reply latency within the shield's [T1, T2] bounds.
+  p.reply_delay_mean_s = 3.3e-3;
+  return p;
+}
+
+}  // namespace hs::imd

@@ -1,0 +1,87 @@
+#include "imd/protocol.hpp"
+
+namespace hs::imd {
+
+const char* message_type_name(MessageType t) {
+  switch (t) {
+    case MessageType::kInterrogate:
+      return "interrogate";
+    case MessageType::kReadTherapy:
+      return "read-therapy";
+    case MessageType::kSetTherapy:
+      return "set-therapy";
+    case MessageType::kDataResponse:
+      return "data-response";
+    case MessageType::kTherapyResponse:
+      return "therapy-response";
+    case MessageType::kAck:
+      return "ack";
+  }
+  return "unknown";
+}
+
+bool is_command(MessageType t) {
+  return t == MessageType::kInterrogate || t == MessageType::kReadTherapy ||
+         t == MessageType::kSetTherapy;
+}
+
+namespace {
+
+phy::Frame base_frame(const phy::DeviceId& id, MessageType type,
+                      std::uint8_t seq) {
+  phy::Frame f;
+  f.device_id = id;
+  f.type = static_cast<std::uint8_t>(type);
+  f.seq = seq;
+  return f;
+}
+
+}  // namespace
+
+phy::Frame make_interrogate(const phy::DeviceId& id, std::uint8_t seq) {
+  return base_frame(id, MessageType::kInterrogate, seq);
+}
+
+phy::Frame make_read_therapy(const phy::DeviceId& id, std::uint8_t seq) {
+  return base_frame(id, MessageType::kReadTherapy, seq);
+}
+
+phy::Frame make_set_therapy(const phy::DeviceId& id, std::uint8_t seq,
+                            const TherapySettings& settings) {
+  phy::Frame f = base_frame(id, MessageType::kSetTherapy, seq);
+  f.payload = settings.encode();
+  return f;
+}
+
+phy::Frame make_data_response(const phy::DeviceId& id, std::uint8_t seq,
+                              phy::ByteView data) {
+  phy::Frame f = base_frame(id, MessageType::kDataResponse, seq);
+  f.payload.assign(data.begin(), data.end());
+  return f;
+}
+
+phy::Frame make_therapy_response(const phy::DeviceId& id, std::uint8_t seq,
+                                 const TherapySettings& settings) {
+  phy::Frame f = base_frame(id, MessageType::kTherapyResponse, seq);
+  f.payload = settings.encode();
+  return f;
+}
+
+phy::Frame make_ack(const phy::DeviceId& id, std::uint8_t seq,
+                    MessageType acked) {
+  phy::Frame f = base_frame(id, MessageType::kAck, seq);
+  f.payload = {static_cast<std::uint8_t>(acked)};
+  return f;
+}
+
+std::optional<TherapySettings> parse_therapy(const phy::Frame& frame) {
+  TherapySettings settings;
+  if (!TherapySettings::decode(
+          phy::ByteView(frame.payload.data(), frame.payload.size()),
+          settings)) {
+    return std::nullopt;
+  }
+  return settings;
+}
+
+}  // namespace hs::imd

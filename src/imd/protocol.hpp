@@ -1,0 +1,61 @@
+// Application-layer wire protocol between programmers and IMDs.
+//
+// Modelled on the externally observable behaviour of the Medtronic
+// Virtuoso ICD / Concerto CRT sessions the paper experiments with: a
+// programmer either queries the IMD for data (patient name, ECG) or sends
+// it commands (therapy modification), and the IMD responds immediately
+// (section 2). The two adversarial commands of section 10.3 — "trigger the
+// IMD to transmit to deplete its battery" and "change therapy parameters"
+// — are kInterrogate and kSetTherapy respectively.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "imd/therapy.hpp"
+#include "phy/frame.hpp"
+
+namespace hs::imd {
+
+enum class MessageType : std::uint8_t {
+  kInterrogate = 0x01,     ///< request stored patient data / ECG
+  kReadTherapy = 0x02,     ///< read current therapy parameters
+  kSetTherapy = 0x03,      ///< modify therapy parameters
+  kDataResponse = 0x81,    ///< IMD -> programmer: patient data
+  kTherapyResponse = 0x82, ///< IMD -> programmer: current therapy
+  kAck = 0x83,             ///< IMD -> programmer: command accepted
+};
+
+const char* message_type_name(MessageType t);
+
+/// True for the message types a programmer sends to an IMD.
+bool is_command(MessageType t);
+
+/// Builds an interrogation command frame.
+phy::Frame make_interrogate(const phy::DeviceId& id, std::uint8_t seq);
+
+/// Builds a read-therapy command frame.
+phy::Frame make_read_therapy(const phy::DeviceId& id, std::uint8_t seq);
+
+/// Builds a set-therapy command frame.
+phy::Frame make_set_therapy(const phy::DeviceId& id, std::uint8_t seq,
+                            const TherapySettings& settings);
+
+/// Builds the IMD's data response (payload carries a patient-data chunk).
+phy::Frame make_data_response(const phy::DeviceId& id, std::uint8_t seq,
+                              phy::ByteView data);
+
+/// Builds the IMD's therapy response.
+phy::Frame make_therapy_response(const phy::DeviceId& id, std::uint8_t seq,
+                                 const TherapySettings& settings);
+
+/// Builds the IMD's acknowledgment.
+phy::Frame make_ack(const phy::DeviceId& id, std::uint8_t seq,
+                    MessageType acked);
+
+/// Parses the therapy settings out of a kSetTherapy / kTherapyResponse
+/// frame payload. Returns nullopt on malformed payload.
+std::optional<TherapySettings> parse_therapy(const phy::Frame& frame);
+
+}  // namespace hs::imd

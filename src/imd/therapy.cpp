@@ -1,0 +1,26 @@
+#include "imd/therapy.hpp"
+
+namespace hs::imd {
+
+phy::ByteVec TherapySettings::encode() const {
+  return {pacing_rate_bpm, shock_energy_half_joules,
+          static_cast<std::uint8_t>(mode), tachy_threshold_bpm};
+}
+
+bool TherapySettings::decode(phy::ByteView bytes, TherapySettings& out) {
+  if (bytes.size() != 4) return false;
+  if (bytes[2] > static_cast<std::uint8_t>(PacingMode::kOff)) return false;
+  out.pacing_rate_bpm = bytes[0];
+  out.shock_energy_half_joules = bytes[1];
+  out.mode = static_cast<PacingMode>(bytes[2]);
+  out.tachy_threshold_bpm = bytes[3];
+  return true;
+}
+
+bool TherapySettings::plausible() const {
+  if (pacing_rate_bpm < 30 || pacing_rate_bpm > 185) return false;
+  if (tachy_threshold_bpm < 100) return false;
+  return true;
+}
+
+}  // namespace hs::imd

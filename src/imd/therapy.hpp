@@ -1,0 +1,36 @@
+// Therapy parameters of a cardiac device: what the paper's active
+// adversary tries to modify and the shield protects (section 10.3, Fig. 12).
+#pragma once
+
+#include <cstdint>
+
+#include "phy/bits.hpp"
+
+namespace hs::imd {
+
+enum class PacingMode : std::uint8_t {
+  kVVI = 0,  ///< ventricular pacing, ventricular sensing, inhibited
+  kAAI = 1,
+  kDDD = 2,
+  kOff = 3,
+};
+
+struct TherapySettings {
+  std::uint8_t pacing_rate_bpm = 60;
+  std::uint8_t shock_energy_half_joules = 70;  ///< 35 J defibrillation
+  PacingMode mode = PacingMode::kDDD;
+  std::uint8_t tachy_threshold_bpm = 180;
+
+  bool operator==(const TherapySettings&) const = default;
+
+  /// Fixed-size wire encoding (4 bytes).
+  phy::ByteVec encode() const;
+
+  /// Decodes; returns false on wrong size or invalid mode.
+  static bool decode(phy::ByteView bytes, TherapySettings& out);
+
+  /// Safety envelope check: values a real device would reject outright.
+  bool plausible() const;
+};
+
+}  // namespace hs::imd

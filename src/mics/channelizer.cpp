@@ -1,0 +1,68 @@
+#include "mics/channelizer.hpp"
+
+#include <stdexcept>
+
+namespace hs::mics {
+
+Channelizer::Channelizer(std::size_t filter_taps) {
+  chains_.reserve(kChannelCount);
+  for (std::size_t c = 0; c < kChannelCount; ++c) {
+    chains_.push_back(ChannelChain{
+        dsp::Mixer(-channel_baseband_offset_hz(c), kWidebandFs),
+        dsp::Decimator(kDecimation, filter_taps),
+    });
+  }
+}
+
+void Channelizer::process(dsp::SampleView wideband,
+                          std::array<dsp::Samples, kChannelCount>& out) {
+  dsp::Samples shifted;
+  for (std::size_t c = 0; c < kChannelCount; ++c) {
+    shifted.clear();
+    chains_[c].mixer.process(wideband, shifted);
+    chains_[c].decimator.process(shifted, out[c]);
+  }
+}
+
+void Channelizer::reset() {
+  for (auto& chain : chains_) {
+    chain.mixer.reset_phase();
+    chain.decimator.reset();
+  }
+}
+
+ChannelSynthesizer::ChannelSynthesizer(std::size_t filter_taps) {
+  chains_.reserve(kChannelCount);
+  for (std::size_t c = 0; c < kChannelCount; ++c) {
+    chains_.push_back(ChannelChain{
+        dsp::Interpolator(kDecimation, filter_taps),
+        dsp::Mixer(channel_baseband_offset_hz(c), kWidebandFs),
+    });
+  }
+}
+
+void ChannelSynthesizer::process(std::size_t channel,
+                                 dsp::SampleView baseband,
+                                 dsp::MutSampleView wideband) {
+  if (channel >= kChannelCount) {
+    throw std::out_of_range("ChannelSynthesizer: bad channel");
+  }
+  if (wideband.size() != baseband.size() * kDecimation) {
+    throw std::invalid_argument(
+        "ChannelSynthesizer: wideband must be 10x baseband length");
+  }
+  dsp::Samples up;
+  chains_[channel].interpolator.process(baseband, up);
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    wideband[i] += chains_[channel].mixer.process(up[i]);
+  }
+}
+
+void ChannelSynthesizer::reset() {
+  for (auto& chain : chains_) {
+    chain.interpolator.reset();
+    chain.mixer.reset_phase();
+  }
+}
+
+}  // namespace hs::mics

@@ -1,0 +1,67 @@
+// Wideband <-> per-channel conversion for the full 3 MHz MICS band.
+//
+// The shield "can listen to the entire 3 MHz MICS band, transmit in all or
+// any subset of the channels ... by making the radio front end as wide as
+// 3 MHz and equipping the device with per-channel filters" (paper
+// section 7(c)). The Channelizer is that front end: it splits a 3 MHz
+// complex stream into ten 300 kHz baseband streams (mix down, lowpass,
+// decimate by 10) and synthesizes the reverse direction.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+
+#include "dsp/mixer.hpp"
+#include "dsp/resample.hpp"
+#include "dsp/types.hpp"
+#include "mics/band.hpp"
+
+namespace hs::mics {
+
+inline constexpr double kWidebandFs = kBandwidthHz;        // 3 MHz
+inline constexpr double kChannelFs = kChannelWidthHz;      // 300 kHz
+inline constexpr std::size_t kDecimation = 10;
+
+/// Splits a wideband stream into per-channel baseband streams.
+class Channelizer {
+ public:
+  explicit Channelizer(std::size_t filter_taps = 101);
+
+  /// Consumes wideband samples (at 3 MHz); appends each channel's new
+  /// baseband samples (at 300 kHz) to `out[channel]`.
+  void process(dsp::SampleView wideband,
+               std::array<dsp::Samples, kChannelCount>& out);
+
+  void reset();
+
+ private:
+  struct ChannelChain {
+    dsp::Mixer mixer;
+    dsp::Decimator decimator;
+  };
+  std::vector<ChannelChain> chains_;
+};
+
+/// Combines per-channel baseband streams into one wideband stream.
+class ChannelSynthesizer {
+ public:
+  explicit ChannelSynthesizer(std::size_t filter_taps = 101);
+
+  /// Upsamples `baseband` (300 kHz) into the wideband stream (3 MHz) at
+  /// the given channel's offset, adding into `wideband` (which must be
+  /// sized to 10x the input length).
+  void process(std::size_t channel, dsp::SampleView baseband,
+               dsp::MutSampleView wideband);
+
+  void reset();
+
+ private:
+  struct ChannelChain {
+    dsp::Interpolator interpolator;
+    dsp::Mixer mixer;
+  };
+  std::vector<ChannelChain> chains_;
+};
+
+}  // namespace hs::mics

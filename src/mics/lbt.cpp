@@ -1,0 +1,45 @@
+#include "mics/lbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/units.hpp"
+
+namespace hs::mics {
+
+ClearChannelAssessment::ClearChannelAssessment(double fs, double listen_s,
+                                               double threshold_dbm)
+    : fs_(fs),
+      required_quiet_samples_(
+          static_cast<std::size_t>(std::lround(listen_s * fs))),
+      threshold_power_(dsp::dbm_to_mw(threshold_dbm)),
+      threshold_dbm_(threshold_dbm),
+      rssi_(std::max<std::size_t>(1, static_cast<std::size_t>(fs * 1e-3))) {}
+
+void ClearChannelAssessment::push(dsp::SampleView samples) {
+  for (dsp::cplx x : samples) {
+    const double p = rssi_.push(x);
+    if (rssi_.warmed_up() && p > threshold_power_) {
+      quiet_run_ = 0;
+    } else {
+      ++quiet_run_;
+    }
+  }
+}
+
+bool ClearChannelAssessment::channel_clear() const {
+  return quiet_run_ >= required_quiet_samples_;
+}
+
+double ClearChannelAssessment::quiet_time_s() const {
+  return static_cast<double>(
+             std::min(quiet_run_, required_quiet_samples_)) /
+         fs_;
+}
+
+void ClearChannelAssessment::reset() {
+  rssi_.reset();
+  quiet_run_ = 0;
+}
+
+}  // namespace hs::mics

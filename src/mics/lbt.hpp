@@ -1,0 +1,44 @@
+// Listen-before-talk / clear-channel assessment, per the FCC MICS rules:
+// a device must monitor a candidate channel for at least 10 ms and use it
+// only if unoccupied (paper section 2).
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/power.hpp"
+#include "dsp/types.hpp"
+
+namespace hs::mics {
+
+class ClearChannelAssessment {
+ public:
+  /// `fs` sample rate; `listen_s` required quiet duration (default FCC
+  /// 10 ms); `threshold_dbm` occupancy threshold.
+  ClearChannelAssessment(double fs, double listen_s = 10.0e-3,
+                         double threshold_dbm = -95.0);
+
+  /// Feeds received samples. Returns current verdict after this block.
+  void push(dsp::SampleView samples);
+
+  /// True once the channel has been continuously quiet for the full
+  /// listening period.
+  bool channel_clear() const;
+
+  /// Seconds of continuous quiet observed so far (saturates at listen_s).
+  double quiet_time_s() const;
+
+  /// Restart the assessment (e.g., when switching channels).
+  void reset();
+
+  double threshold_dbm() const { return threshold_dbm_; }
+
+ private:
+  double fs_;
+  std::size_t required_quiet_samples_;
+  double threshold_power_;  // linear
+  double threshold_dbm_;
+  dsp::RssiMeter rssi_;
+  std::size_t quiet_run_ = 0;
+};
+
+}  // namespace hs::mics

@@ -1,0 +1,54 @@
+#include "mics/session.hpp"
+
+namespace hs::mics {
+
+const char* session_state_name(SessionState s) {
+  switch (s) {
+    case SessionState::kIdle:
+      return "idle";
+    case SessionState::kListening:
+      return "listening";
+    case SessionState::kEstablished:
+      return "established";
+    case SessionState::kInterfered:
+      return "interfered";
+  }
+  return "unknown";
+}
+
+SessionMachine::SessionMachine(std::size_t interference_limit)
+    : interference_limit_(interference_limit) {}
+
+void SessionMachine::start_listening(std::size_t channel) {
+  channel_ = channel % kChannelCount;
+  state_ = SessionState::kListening;
+  consecutive_failures_ = 0;
+}
+
+void SessionMachine::lbt_result(bool clear) {
+  if (state_ != SessionState::kListening) return;
+  state_ = clear ? SessionState::kEstablished : SessionState::kInterfered;
+}
+
+void SessionMachine::exchange_result(bool success) {
+  if (state_ != SessionState::kEstablished) return;
+  if (success) {
+    consecutive_failures_ = 0;
+    return;
+  }
+  if (++consecutive_failures_ >= interference_limit_) {
+    state_ = SessionState::kInterfered;
+  }
+}
+
+void SessionMachine::end_session() {
+  state_ = SessionState::kIdle;
+  channel_.reset();
+  consecutive_failures_ = 0;
+}
+
+std::size_t SessionMachine::next_channel() const {
+  return channel_ ? (*channel_ + 1) % kChannelCount : 0;
+}
+
+}  // namespace hs::mics

@@ -1,0 +1,55 @@
+// Programmer <-> IMD session state machine, per the MICS sharing rules
+// (paper section 2): listen 10 ms for a clear channel, establish a session,
+// alternate programmer command / immediate IMD response, stay on the
+// channel until the session ends or persistent interference forces a move.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "mics/band.hpp"
+
+namespace hs::mics {
+
+enum class SessionState {
+  kIdle,
+  kListening,    ///< clear-channel assessment in progress
+  kEstablished,  ///< channel claimed, command/response exchange
+  kInterfered,   ///< persistent interference; must re-listen elsewhere
+};
+
+const char* session_state_name(SessionState s);
+
+class SessionMachine {
+ public:
+  /// `interference_limit`: consecutive failed exchanges tolerated before
+  /// the session declares persistent interference and moves channels.
+  explicit SessionMachine(std::size_t interference_limit = 3);
+
+  /// Begin listening on the given channel.
+  void start_listening(std::size_t channel);
+
+  /// Clear-channel verdict after the 10 ms LBT window.
+  void lbt_result(bool clear);
+
+  /// Outcome of one command/response exchange.
+  void exchange_result(bool success);
+
+  /// Ends the session, returning to idle.
+  void end_session();
+
+  SessionState state() const { return state_; }
+  std::optional<std::size_t> channel() const { return channel_; }
+  std::size_t consecutive_failures() const { return consecutive_failures_; }
+
+  /// Next channel to try after interference (simple round-robin).
+  std::size_t next_channel() const;
+
+ private:
+  SessionState state_ = SessionState::kIdle;
+  std::optional<std::size_t> channel_;
+  std::size_t interference_limit_;
+  std::size_t consecutive_failures_ = 0;
+};
+
+}  // namespace hs::mics

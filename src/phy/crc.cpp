@@ -1,0 +1,26 @@
+#include "phy/crc.hpp"
+
+namespace hs::phy {
+
+void Crc16::update(std::uint8_t byte) {
+  crc_ ^= static_cast<std::uint16_t>(byte) << 8;
+  for (int i = 0; i < 8; ++i) {
+    if (crc_ & 0x8000) {
+      crc_ = static_cast<std::uint16_t>((crc_ << 1) ^ 0x1021);
+    } else {
+      crc_ = static_cast<std::uint16_t>(crc_ << 1);
+    }
+  }
+}
+
+void Crc16::update(ByteView data) {
+  for (std::uint8_t b : data) update(b);
+}
+
+std::uint16_t crc16_ccitt(ByteView data) {
+  Crc16 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace hs::phy

@@ -1,0 +1,27 @@
+// CRC-16/CCITT-FALSE: the checksum that gates command acceptance at the
+// IMD. The paper's active defense relies on the IMD discarding any packet
+// whose checksum fails after the shield's jamming flips bits (section 7).
+#pragma once
+
+#include <cstdint>
+
+#include "phy/bits.hpp"
+
+namespace hs::phy {
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection, no xorout).
+std::uint16_t crc16_ccitt(ByteView data);
+
+/// Incremental variant for streaming use.
+class Crc16 {
+ public:
+  void update(std::uint8_t byte);
+  void update(ByteView data);
+  std::uint16_t value() const { return crc_; }
+  void reset() { crc_ = 0xFFFF; }
+
+ private:
+  std::uint16_t crc_ = 0xFFFF;
+};
+
+}  // namespace hs::phy

@@ -1,0 +1,129 @@
+#include "phy/frame.hpp"
+
+#include <stdexcept>
+
+#include "phy/crc.hpp"
+
+namespace hs::phy {
+namespace {
+
+constexpr std::size_t kHeaderBytes =
+    kPreambleBytes + kSyncBytes + kDeviceIdBytes + 3;  // type, seq, len
+constexpr std::size_t kCrcBytes = 2;
+
+}  // namespace
+
+std::size_t frame_total_bytes(std::size_t payload_len) {
+  return kHeaderBytes + payload_len + kCrcBytes;
+}
+
+std::size_t frame_total_bits(std::size_t payload_len) {
+  return frame_total_bytes(payload_len) * 8;
+}
+
+BitVec encode_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxPayloadBytes) {
+    throw std::invalid_argument("encode_frame: payload too large");
+  }
+  ByteVec bytes;
+  bytes.reserve(frame_total_bytes(frame.payload.size()));
+  for (std::size_t i = 0; i < kPreambleBytes; ++i) {
+    bytes.push_back(kPreambleByte);
+  }
+  bytes.insert(bytes.end(), kSyncWord.begin(), kSyncWord.end());
+
+  const std::size_t crc_start = bytes.size();
+  bytes.insert(bytes.end(), frame.device_id.begin(), frame.device_id.end());
+  bytes.push_back(frame.type);
+  bytes.push_back(frame.seq);
+  bytes.push_back(static_cast<std::uint8_t>(frame.payload.size()));
+  bytes.insert(bytes.end(), frame.payload.begin(), frame.payload.end());
+
+  const std::uint16_t crc = crc16_ccitt(
+      ByteView(bytes.data() + crc_start, bytes.size() - crc_start));
+  bytes.push_back(static_cast<std::uint8_t>(crc >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  return bytes_to_bits(bytes);
+}
+
+BitVec make_sid(const DeviceId& id) {
+  ByteVec bytes;
+  bytes.reserve(kPreambleBytes + kSyncBytes + kDeviceIdBytes);
+  for (std::size_t i = 0; i < kPreambleBytes; ++i) {
+    bytes.push_back(kPreambleByte);
+  }
+  bytes.insert(bytes.end(), kSyncWord.begin(), kSyncWord.end());
+  bytes.insert(bytes.end(), id.begin(), id.end());
+  return bytes_to_bits(bytes);
+}
+
+DecodeResult decode_frame(BitView bits, std::size_t sync_tolerance) {
+  DecodeResult result;
+  if (bits.size() < kHeaderBytes * 8) {
+    result.status = DecodeStatus::kTooShort;
+    return result;
+  }
+  // Check preamble + sync with tolerance.
+  ByteVec expected;
+  for (std::size_t i = 0; i < kPreambleBytes; ++i) {
+    expected.push_back(kPreambleByte);
+  }
+  expected.insert(expected.end(), kSyncWord.begin(), kSyncWord.end());
+  const BitVec expected_bits = bytes_to_bits(expected);
+  result.sync_errors =
+      hamming_distance_at(bits, 0, BitView(expected_bits));
+  if (result.sync_errors > sync_tolerance) {
+    result.status = DecodeStatus::kBadSync;
+    return result;
+  }
+
+  std::size_t offset = (kPreambleBytes + kSyncBytes) * 8;
+  Frame frame;
+  for (auto& b : frame.device_id) {
+    b = static_cast<std::uint8_t>(read_uint(bits, offset, 8));
+    offset += 8;
+  }
+  frame.type = static_cast<std::uint8_t>(read_uint(bits, offset, 8));
+  offset += 8;
+  frame.seq = static_cast<std::uint8_t>(read_uint(bits, offset, 8));
+  offset += 8;
+  const auto len = static_cast<std::size_t>(read_uint(bits, offset, 8));
+  offset += 8;
+  if (len > kMaxPayloadBytes) {
+    result.status = DecodeStatus::kBadLength;
+    return result;
+  }
+  if (bits.size() < offset + (len + kCrcBytes) * 8) {
+    result.status = DecodeStatus::kTruncated;
+    return result;
+  }
+  frame.payload.resize(len);
+  for (auto& b : frame.payload) {
+    b = static_cast<std::uint8_t>(read_uint(bits, offset, 8));
+    offset += 8;
+  }
+  const auto rx_crc = static_cast<std::uint16_t>(read_uint(bits, offset, 16));
+  offset += 16;
+
+  ByteVec covered;
+  covered.insert(covered.end(), frame.device_id.begin(),
+                 frame.device_id.end());
+  covered.push_back(frame.type);
+  covered.push_back(frame.seq);
+  covered.push_back(static_cast<std::uint8_t>(len));
+  covered.insert(covered.end(), frame.payload.begin(), frame.payload.end());
+  const std::uint16_t crc =
+      crc16_ccitt(ByteView(covered.data(), covered.size()));
+
+  result.consumed_bits = offset;
+  if (crc != rx_crc) {
+    result.status = DecodeStatus::kBadCrc;
+    result.frame = std::move(frame);  // available for diagnostics
+    return result;
+  }
+  result.status = DecodeStatus::kOk;
+  result.frame = std::move(frame);
+  return result;
+}
+
+}  // namespace hs::phy

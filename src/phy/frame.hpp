@@ -1,0 +1,80 @@
+// MICS air-frame format shared by the IMD, the programmer, the shield, and
+// adversaries.
+//
+// Layout (bytes, before FSK modulation):
+//   [ preamble 4B = 0xAA.. | sync 2B = 0x2D 0xD4 | device id 10B |
+//     type 1B | seq 1B | len 1B | payload 0..44B | crc16 2B ]
+//
+// The preamble + sync + 10-byte device serial number form the identifying
+// sequence S_id the shield matches adversarial transmissions against
+// (paper section 7(a): Medtronic IMDs use FSK, a known preamble, a header
+// and the device's 10-byte serial number).
+//
+// The CRC covers device id .. payload; the IMD discards packets whose CRC
+// fails, which is what makes the shield's reactive jamming effective.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "phy/bits.hpp"
+
+namespace hs::phy {
+
+inline constexpr std::size_t kPreambleBytes = 4;
+inline constexpr std::size_t kSyncBytes = 2;
+inline constexpr std::size_t kDeviceIdBytes = 10;
+inline constexpr std::size_t kMaxPayloadBytes = 44;
+inline constexpr std::uint8_t kPreambleByte = 0xAA;
+inline constexpr std::array<std::uint8_t, kSyncBytes> kSyncWord = {0x2D, 0xD4};
+
+using DeviceId = std::array<std::uint8_t, kDeviceIdBytes>;
+
+struct Frame {
+  DeviceId device_id{};
+  std::uint8_t type = 0;
+  std::uint8_t seq = 0;
+  ByteVec payload;
+};
+
+/// Total over-the-air byte count for a frame with the given payload length.
+std::size_t frame_total_bytes(std::size_t payload_len);
+
+/// Total over-the-air bit count.
+std::size_t frame_total_bits(std::size_t payload_len);
+
+/// Identifying-sequence length in bits: preamble + sync + device id.
+inline constexpr std::size_t kSidBits =
+    (kPreambleBytes + kSyncBytes + kDeviceIdBytes) * 8;
+
+/// Serializes a frame to over-the-air bits (preamble through CRC).
+/// Throws if the payload exceeds kMaxPayloadBytes.
+BitVec encode_frame(const Frame& frame);
+
+/// The identifying sequence S_id for a device: preamble + sync + device id,
+/// as bits — what the shield's active protector matches against.
+BitVec make_sid(const DeviceId& id);
+
+enum class DecodeStatus {
+  kOk,
+  kTooShort,        ///< not enough bits for even a header
+  kBadSync,         ///< sync word mismatch beyond tolerance
+  kBadLength,       ///< length field exceeds the maximum
+  kTruncated,       ///< length field valid but bits end early
+  kBadCrc,          ///< checksum failed (how jammed packets die at the IMD)
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kTooShort;
+  Frame frame;                 ///< valid only when status == kOk
+  std::size_t consumed_bits = 0;
+  std::size_t sync_errors = 0;  ///< bit errors observed in preamble+sync
+};
+
+/// Decodes a frame from bits that start at the first preamble bit. Bit
+/// errors in the preamble/sync are tolerated up to `sync_tolerance` flipped
+/// bits (receivers lock on correlation, not exact match).
+DecodeResult decode_frame(BitView bits, std::size_t sync_tolerance = 4);
+
+}  // namespace hs::phy

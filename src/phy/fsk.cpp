@@ -1,0 +1,116 @@
+#include "phy/fsk.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hs::phy {
+
+using dsp::cplx;
+using dsp::kTwoPi;
+using dsp::Samples;
+
+bool FskParams::tones_orthogonal() const {
+  const double sep = std::abs(f1 - f0);
+  const double sym_rate = bit_rate();
+  const double k = sep / sym_rate;
+  return std::abs(k - std::round(k)) < 1e-9 && k >= 1.0;
+}
+
+FskModulator::FskModulator(const FskParams& params) : params_(params) {
+  if (params_.sps == 0 || params_.fs <= 0) {
+    throw std::invalid_argument("FskModulator: invalid params");
+  }
+}
+
+Samples FskModulator::modulate(BitView bits) {
+  Samples out;
+  out.reserve(bits.size() * params_.sps);
+  for (std::uint8_t bit : bits) {
+    const double f = bit ? params_.f1 : params_.f0;
+    const double step = kTwoPi * f / params_.fs;
+    for (std::size_t i = 0; i < params_.sps; ++i) {
+      out.emplace_back(std::cos(phase_), std::sin(phase_));
+      phase_ += step;
+      if (phase_ > kTwoPi) phase_ -= kTwoPi;
+      if (phase_ < -kTwoPi) phase_ += kTwoPi;
+    }
+  }
+  return out;
+}
+
+Samples fsk_modulate(const FskParams& params, BitView bits) {
+  FskModulator mod(params);
+  return mod.modulate(bits);
+}
+
+namespace {
+
+Samples make_tone_reference(double freq, const FskParams& p) {
+  Samples tone(p.sps);
+  for (std::size_t i = 0; i < p.sps; ++i) {
+    const double phase = kTwoPi * freq / p.fs * static_cast<double>(i);
+    // Stored conjugated so demod is a straight multiply-accumulate.
+    tone[i] = cplx(std::cos(phase), -std::sin(phase));
+  }
+  return tone;
+}
+
+}  // namespace
+
+NoncoherentFskDemod::NoncoherentFskDemod(const FskParams& params)
+    : params_(params),
+      tone0_(make_tone_reference(params.f0, params)),
+      tone1_(make_tone_reference(params.f1, params)) {}
+
+std::uint8_t NoncoherentFskDemod::demod_symbol(dsp::SampleView rx,
+                                               std::size_t offset,
+                                               double* metric) const {
+  cplx c0{}, c1{};
+  for (std::size_t i = 0; i < params_.sps; ++i) {
+    const cplx x = rx[offset + i];
+    c0 += x * tone0_[i];
+    c1 += x * tone1_[i];
+  }
+  const double m = std::abs(c1) - std::abs(c0);
+  if (metric != nullptr) *metric = m;
+  return m > 0.0 ? 1 : 0;
+}
+
+BitVec NoncoherentFskDemod::demodulate(dsp::SampleView rx, std::size_t offset,
+                                       std::size_t count) const {
+  BitVec bits;
+  bits.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::size_t start = offset + s * params_.sps;
+    if (start + params_.sps > rx.size()) break;
+    bits.push_back(demod_symbol(rx, start));
+  }
+  return bits;
+}
+
+CoherentFskDemod::CoherentFskDemod(const FskParams& params)
+    : params_(params),
+      tone0_(make_tone_reference(params.f0, params)),
+      tone1_(make_tone_reference(params.f1, params)) {}
+
+BitVec CoherentFskDemod::demodulate(dsp::SampleView rx, std::size_t offset,
+                                    std::size_t count, cplx channel) const {
+  BitVec bits;
+  bits.reserve(count);
+  const double mag = std::abs(channel);
+  const cplx derot = mag > 0 ? std::conj(channel) / mag : cplx(1.0, 0.0);
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::size_t start = offset + s * params_.sps;
+    if (start + params_.sps > rx.size()) break;
+    cplx c0{}, c1{};
+    for (std::size_t i = 0; i < params_.sps; ++i) {
+      const cplx x = rx[start + i] * derot;
+      c0 += x * tone0_[i];
+      c1 += x * tone1_[i];
+    }
+    bits.push_back(c1.real() > c0.real() ? 1 : 0);
+  }
+  return bits;
+}
+
+}  // namespace hs::phy

@@ -1,0 +1,70 @@
+#include "phy/gmsk.hpp"
+
+#include <cmath>
+
+#include "dsp/fir.hpp"
+
+namespace hs::phy {
+
+using dsp::cplx;
+using dsp::kPi;
+using dsp::Samples;
+
+GmskModulator::GmskModulator(const GmskParams& params)
+    : params_(params),
+      pulse_(dsp::design_gaussian(params.bt, params.sps, params.span)) {
+  history_.assign(pulse_.size(), 0.0);
+}
+
+void GmskModulator::reset() {
+  history_.assign(pulse_.size(), 0.0);
+  pos_ = 0;
+  phase_ = 0.0;
+}
+
+Samples GmskModulator::modulate(BitView bits) {
+  Samples out;
+  out.reserve(bits.size() * params_.sps);
+  // MSK modulation index h = 0.5: each symbol advances phase by +-pi/2,
+  // smoothed by the Gaussian frequency pulse.
+  const double phase_per_sample = kPi / 2.0 / static_cast<double>(params_.sps);
+  for (std::uint8_t bit : bits) {
+    const double nrz = bit ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < params_.sps; ++i) {
+      // Push the NRZ value through the Gaussian pulse filter.
+      history_[pos_] = nrz;
+      double freq = 0.0;
+      std::size_t idx = pos_;
+      for (std::size_t k = 0; k < pulse_.size(); ++k) {
+        freq += pulse_[k] * history_[idx];
+        idx = (idx == 0) ? history_.size() - 1 : idx - 1;
+      }
+      pos_ = (pos_ + 1) % history_.size();
+      phase_ += freq * phase_per_sample;
+      out.emplace_back(std::cos(phase_), std::sin(phase_));
+    }
+  }
+  return out;
+}
+
+GmskDemodulator::GmskDemodulator(const GmskParams& params) : params_(params) {}
+
+BitVec GmskDemodulator::demodulate(dsp::SampleView rx, std::size_t offset,
+                                   std::size_t count) const {
+  BitVec bits;
+  bits.reserve(count);
+  const std::size_t sps = params_.sps;
+  // Group delay of the Gaussian pulse: half its span.
+  const std::size_t delay = params_.span * sps / 2;
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::size_t a = offset + delay + s * sps;
+    const std::size_t b = a + sps;
+    if (b >= rx.size()) break;
+    // Net phase advance over the symbol: positive => bit 1.
+    const cplx rot = rx[b] * std::conj(rx[a]);
+    bits.push_back(std::arg(rot) > 0.0 ? 1 : 0);
+  }
+  return bits;
+}
+
+}  // namespace hs::phy

@@ -1,0 +1,271 @@
+#include "phy/receiver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+
+#include "dsp/correlate.hpp"
+#include "dsp/power.hpp"
+
+namespace hs::phy {
+
+using dsp::cplx;
+using dsp::Samples;
+
+namespace {
+
+/// Bits of the preamble+sync prefix every frame starts with.
+BitVec sync_prefix_bits() {
+  ByteVec bytes;
+  for (std::size_t i = 0; i < kPreambleBytes; ++i) {
+    bytes.push_back(kPreambleByte);
+  }
+  bytes.insert(bytes.end(), kSyncWord.begin(), kSyncWord.end());
+  return bytes_to_bits(bytes);
+}
+
+constexpr std::size_t kHeaderBitsThroughLen =
+    (kPreambleBytes + kSyncBytes + kDeviceIdBytes + 3) * 8;
+
+}  // namespace
+
+FskReceiver::FskReceiver(const FskParams& params, ReceiverOptions options)
+    : params_(params), options_(options), demod_(params) {
+  FskModulator mod(params_);
+  sync_waveform_ = mod.modulate(sync_prefix_bits());
+  ref_energy_ = 0.0;
+  for (const cplx& r : sync_waveform_) ref_energy_ += std::norm(r);
+}
+
+void FskReceiver::reset() {
+  buffer_.clear();
+  buffer_base_ = total_consumed_;
+  scan_pos_ = 0;
+  locked_ = false;
+  partial_bits_.clear();
+  next_symbol_ = 0;
+  noise_floor_ = 0.0;
+  floor_ready_ = false;
+}
+
+void FskReceiver::push(dsp::SampleView samples) {
+  buffer_.insert(buffer_.end(), samples.begin(), samples.end());
+  total_consumed_ += samples.size();
+  // Alternate detection and demodulation until no further progress: a
+  // single push may contain the tail of one frame and the start of another.
+  for (;;) {
+    const bool was_locked = locked_;
+    const std::size_t before_outputs = output_.size();
+    const std::size_t before_scan = scan_pos_;
+    const std::size_t before_bits = partial_bits_.size();
+    if (locked_) {
+      demodulate_available();
+    } else {
+      try_detect();
+    }
+    const bool progressed = locked_ != was_locked ||
+                            output_.size() != before_outputs ||
+                            scan_pos_ != before_scan ||
+                            partial_bits_.size() != before_bits;
+    if (!progressed) break;
+  }
+}
+
+std::optional<ReceivedFrame> FskReceiver::pop() {
+  if (output_.empty()) return std::nullopt;
+  ReceivedFrame f = std::move(output_.front());
+  output_.erase(output_.begin());
+  return f;
+}
+
+double FskReceiver::correlation_at(std::size_t lag) const {
+  // Segmented (noncoherent) correlation: the reference is split into a few
+  // segments whose partial correlations are combined by magnitude. A
+  // residual carrier-frequency offset rotates the phase across the
+  // reference; fully coherent correlation would collapse beyond ~130 Hz,
+  // while magnitude-combining 6 segments rides out crystal-grade offsets
+  // (several hundred Hz) at a negligible noise penalty.
+  constexpr std::size_t kSegments = 6;
+  const std::size_t ref = sync_waveform_.size();
+  const std::size_t seg = ref / kSegments;
+  double acc_mag = 0.0;
+  double sig_energy = 0.0;
+  for (std::size_t s = 0; s < kSegments; ++s) {
+    cplx acc{};
+    const std::size_t from = s * seg;
+    const std::size_t to = (s + 1 == kSegments) ? ref : from + seg;
+    for (std::size_t i = from; i < to; ++i) {
+      acc += buffer_[lag + i] * std::conj(sync_waveform_[i]);
+      sig_energy += std::norm(buffer_[lag + i]);
+    }
+    acc_mag += std::abs(acc);
+  }
+  return acc_mag / std::sqrt(std::max(sig_energy * ref_energy_, 1e-30));
+}
+
+void FskReceiver::try_detect() {
+  const std::size_t ref = sync_waveform_.size();
+  const std::size_t sps = params_.sps;
+  // Stride over the buffer one symbol at a time. A cheap adaptive power
+  // gate decides whether to pay for correlation: the medium is idle (or at
+  // a steady level this receiver has adapted to) most of the time, and a
+  // frame announces itself with a power step.
+  while (scan_pos_ + sps <= buffer_.size()) {
+    // Require enough lookahead for a full correlation sweep (including the
+    // alias-escape extension below) before evaluating this window at all,
+    // so each window is judged exactly once (re-evaluating would
+    // double-count it in the noise-floor EWMA).
+    if (scan_pos_ + 8 * sps + ref > buffer_.size()) return;
+    double win_power = 0.0;
+    for (std::size_t i = 0; i < sps; ++i) {
+      win_power += std::norm(buffer_[scan_pos_ + i]);
+    }
+    win_power /= static_cast<double>(sps);
+
+    const bool candidate =
+        floor_ready_ && win_power > options_.gate_factor * noise_floor_ &&
+        win_power > options_.min_gate_power;
+
+    if (!floor_ready_) {
+      noise_floor_ = win_power;
+      floor_ready_ = true;
+    } else if (win_power < noise_floor_) {
+      // Quiet windows pull the floor down immediately (minimum tracking),
+      // so one loud power-on window cannot deafen the gate for long.
+      noise_floor_ = win_power;
+    } else {
+      // Slow EWMA upward; adapts under sustained occupancy (e.g., a
+      // jamming residual) so the gate re-arms for the *next* power step.
+      noise_floor_ = 0.95 * noise_floor_ + 0.05 * win_power;
+    }
+
+    if (!candidate) {
+      scan_pos_ += sps;
+      continue;
+    }
+    // The rise happened within the last two symbols; sweep those lags.
+    const std::size_t sweep_lo = scan_pos_ >= sps ? scan_pos_ - sps : 0;
+    const std::size_t sweep_hi = scan_pos_ + sps;
+
+    std::size_t best = sweep_lo;
+    double best_corr = -1.0;
+    for (std::size_t lag = sweep_lo; lag <= sweep_hi; ++lag) {
+      const double c = correlation_at(lag);
+      if (c > best_corr) {
+        best_corr = c;
+        best = lag;
+      }
+    }
+    if (best_corr < options_.detect_threshold) {
+      scan_pos_ += sps;  // false alarm; floor keeps adapting
+      continue;
+    }
+    // Escape preamble-periodicity aliases. The phase-continuous
+    // alternating preamble is exactly periodic in 2 symbols, so a copy of
+    // the reference shifted 2k symbols EARLY still correlates strongly
+    // (~0.83 observed). If such an alias crossed the threshold while the
+    // true start lies just beyond the sweep, climbing right finds the
+    // genuine (higher) peak.
+    for (std::size_t lag = best + 1;
+         lag <= best + 6 * sps && lag + ref <= buffer_.size(); ++lag) {
+      const double c = correlation_at(lag);
+      if (c > best_corr) {
+        best_corr = c;
+        best = lag;
+      }
+    }
+    if (std::getenv("HS_RX_DEBUG") != nullptr) {
+      std::fprintf(stderr, "LOCK at %zu corr=%.3f scan=%zu\n",
+                   buffer_base_ + best, best_corr, buffer_base_ + scan_pos_);
+    }
+    locked_ = true;
+    lock_start_ = buffer_base_ + best;
+    partial_bits_.clear();
+    next_symbol_ = 0;
+    scan_pos_ = best;
+    demodulate_available();
+    return;
+  }
+}
+
+void FskReceiver::demodulate_available() {
+  const std::size_t sps = params_.sps;
+  const std::size_t lock_rel = lock_start_ - buffer_base_;
+  for (;;) {
+    const std::size_t sym_start = lock_rel + next_symbol_ * sps;
+    if (sym_start + sps > buffer_.size()) return;  // wait for more samples
+
+    partial_bits_.push_back(demod_.demod_symbol(buffer_, sym_start));
+    ++next_symbol_;
+
+    if (partial_bits_.size() == kHeaderBitsThroughLen) {
+      // Sanity-check sync before committing to a full frame length.
+      static const BitVec prefix = sync_prefix_bits();
+      const std::size_t errors =
+          hamming_distance_at(partial_bits_, 0, BitView(prefix));
+      if (errors > options_.sync_tolerance + 8) {
+        drop_lock(2 * sps);
+        return;
+      }
+    }
+    if (partial_bits_.size() >= kHeaderBitsThroughLen) {
+      const auto len = static_cast<std::size_t>(
+          read_uint(partial_bits_, kHeaderBitsThroughLen - 8, 8));
+      if (len > kMaxPayloadBytes) {
+        // Bogus length: report what we have as a failed decode.
+        finish_frame(decode_frame(partial_bits_, options_.sync_tolerance));
+        return;
+      }
+      const std::size_t total_bits = frame_total_bits(len);
+      if (partial_bits_.size() >= total_bits) {
+        finish_frame(decode_frame(partial_bits_, options_.sync_tolerance));
+        return;
+      }
+    }
+    if (partial_bits_.size() > options_.max_frame_bits) {
+      drop_lock(2 * sps);
+      return;
+    }
+  }
+}
+
+void FskReceiver::finish_frame(const DecodeResult& decode) {
+  ReceivedFrame out;
+  out.decode = decode;
+  out.start_sample = lock_start_;
+  out.raw_bits = partial_bits_;
+  const std::size_t lock_rel = lock_start_ - buffer_base_;
+  const std::size_t frame_samples = partial_bits_.size() * params_.sps;
+  out.rssi = dsp::mean_power(
+      dsp::SampleView(buffer_.data() + lock_rel,
+                      std::min(frame_samples, buffer_.size() - lock_rel)));
+  output_.push_back(std::move(out));
+
+  // Resume scanning after the decoded region.
+  const std::size_t resume = lock_rel + frame_samples;
+  locked_ = false;
+  partial_bits_.clear();
+  next_symbol_ = 0;
+  scan_pos_ = resume;
+  compact_buffer(resume);
+}
+
+void FskReceiver::drop_lock(std::size_t resume_offset) {
+  const std::size_t lock_rel = lock_start_ - buffer_base_;
+  locked_ = false;
+  partial_bits_.clear();
+  next_symbol_ = 0;
+  scan_pos_ = lock_rel + resume_offset;
+  compact_buffer(scan_pos_);
+}
+
+void FskReceiver::compact_buffer(std::size_t keep_from) {
+  if (keep_from == 0) return;
+  const std::size_t drop = std::min(keep_from, buffer_.size());
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(drop));
+  buffer_base_ += drop;
+  scan_pos_ = (scan_pos_ >= drop) ? scan_pos_ - drop : 0;
+}
+
+}  // namespace hs::phy

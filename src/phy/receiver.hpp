@@ -1,0 +1,108 @@
+// Streaming FSK frame receiver.
+//
+// All listening nodes (the IMD, the shield's monitor, eavesdroppers, the
+// USRP "observer" of section 10.3) are built on this: it watches the sample
+// stream for the modulated preamble+sync, locks symbol timing on the
+// correlation peak, then demodulates bits until a frame completes or sync
+// is abandoned.
+//
+// It is deliberately incremental — push() may be called with arbitrarily
+// small blocks and behaves identically to one-shot processing — because the
+// shield must make jam/no-jam decisions *mid-packet* (paper section 7).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "phy/frame.hpp"
+#include "phy/fsk.hpp"
+
+namespace hs::phy {
+
+struct ReceivedFrame {
+  DecodeResult decode;
+  std::size_t start_sample = 0;  ///< absolute index of first preamble sample
+  double rssi = 0.0;             ///< mean power over the frame's samples
+  BitVec raw_bits;               ///< everything demodulated for this frame
+};
+
+struct ReceiverOptions {
+  /// Normalized correlation threshold for declaring preamble detection.
+  /// Must exceed ~0.75: the alternating preamble correlates at ~0.72 with
+  /// a copy of itself shifted by two symbols, and accepting such an alias
+  /// mis-locks the receiver (a frame at usable SNR correlates >= 0.9).
+  double detect_threshold = 0.82;
+  /// Preamble+sync bit errors tolerated by the frame decoder.
+  std::size_t sync_tolerance = 4;
+  /// Give up on a locked frame if this many bits arrive without completing
+  /// a decodable frame (bounds buffering; > max frame bits).
+  std::size_t max_frame_bits = 1024;
+  /// A window must exceed the adaptive noise floor by this power factor to
+  /// trigger a correlation sweep (cheap CCA-style gate).
+  double gate_factor = 4.0;
+  /// Absolute minimum window power to consider (0 disables).
+  double min_gate_power = 0.0;
+};
+
+class FskReceiver {
+ public:
+  FskReceiver(const FskParams& params, ReceiverOptions options = {});
+
+  /// Feeds samples; any frames completed within them are appended to the
+  /// internal output queue.
+  void push(dsp::SampleView samples);
+
+  /// Pops the next completed frame, if any.
+  std::optional<ReceivedFrame> pop();
+
+  /// True while the receiver is locked onto a partially received frame.
+  bool locked() const { return locked_; }
+
+  /// Bits demodulated so far for the currently locked frame (empty when
+  /// unlocked). The shield's S_id matcher consumes these as they appear.
+  const BitVec& partial_bits() const { return partial_bits_; }
+
+  /// Absolute sample index of the current lock's first preamble sample.
+  std::size_t lock_start_sample() const { return lock_start_; }
+
+  /// Total samples consumed so far.
+  std::size_t sample_position() const { return total_consumed_; }
+
+  /// Drops any partial lock and clears buffered samples.
+  void reset();
+
+  const FskParams& params() const { return params_; }
+
+ private:
+  void try_detect();
+  void demodulate_available();
+  void finish_frame(const DecodeResult& decode);
+  void drop_lock(std::size_t resume_offset);
+  void compact_buffer(std::size_t keep_from);
+  double correlation_at(std::size_t lag) const;
+
+  FskParams params_;
+  ReceiverOptions options_;
+  NoncoherentFskDemod demod_;
+  dsp::Samples sync_waveform_;  ///< modulated preamble+sync reference
+  double ref_energy_ = 0.0;
+  double noise_floor_ = 0.0;  ///< adaptive per-sample power floor
+  bool floor_ready_ = false;
+
+  dsp::Samples buffer_;          ///< samples not yet fully consumed
+  std::size_t buffer_base_ = 0;  ///< absolute index of buffer_[0]
+  std::size_t total_consumed_ = 0;
+  std::size_t scan_pos_ = 0;  ///< buffer-relative scan cursor when unlocked
+
+  bool locked_ = false;
+  std::size_t lock_start_ = 0;  ///< absolute sample of preamble start
+  BitVec partial_bits_;
+  std::size_t next_symbol_ = 0;  ///< symbols demodulated so far in lock
+
+  std::vector<ReceivedFrame> output_;
+};
+
+}  // namespace hs::phy

@@ -1,0 +1,32 @@
+#include "phy/whitening.hpp"
+
+namespace hs::phy {
+
+Whitener::Whitener(std::uint16_t seed) : state_(seed & 0x1FF) {
+  if (state_ == 0) state_ = 0x1FF;  // all-zero state would lock the LFSR
+}
+
+void Whitener::reset(std::uint16_t seed) {
+  state_ = seed & 0x1FF;
+  if (state_ == 0) state_ = 0x1FF;
+}
+
+std::uint8_t Whitener::next_bit() {
+  // x^9 + x^5 + 1: output bit 0, feedback = bit0 ^ bit5.
+  const std::uint8_t out = static_cast<std::uint8_t>(state_ & 1);
+  const std::uint16_t fb = ((state_ >> 0) ^ (state_ >> 5)) & 1;
+  state_ = static_cast<std::uint16_t>((state_ >> 1) | (fb << 8));
+  return out;
+}
+
+void Whitener::apply(BitVec& bits) {
+  for (auto& b : bits) b = static_cast<std::uint8_t>((b ^ next_bit()) & 1);
+}
+
+BitVec Whitener::applied(BitView bits) {
+  BitVec out(bits.begin(), bits.end());
+  apply(out);
+  return out;
+}
+
+}  // namespace hs::phy

@@ -1,0 +1,29 @@
+// LFSR data whitening (x^9 + x^5 + 1, 802.15.4g-style), applied to frame
+// payloads to avoid long constant-tone runs that would bias FSK symbol
+// timing. Self-inverse: applying twice restores the input.
+#pragma once
+
+#include <cstdint>
+
+#include "phy/bits.hpp"
+
+namespace hs::phy {
+
+class Whitener {
+ public:
+  explicit Whitener(std::uint16_t seed = 0x1FF);
+
+  /// XORs the LFSR sequence into the bits in place.
+  void apply(BitVec& bits);
+
+  /// Out-of-place variant.
+  BitVec applied(BitView bits);
+
+  void reset(std::uint16_t seed = 0x1FF);
+
+ private:
+  std::uint8_t next_bit();
+  std::uint16_t state_;
+};
+
+}  // namespace hs::phy

@@ -1,0 +1,25 @@
+#include "shield/battery_life.hpp"
+
+namespace hs::shield {
+
+BatteryLifeEstimate estimate_battery_life(const ShieldPowerModel& model,
+                                          double daily_session_s) {
+  BatteryLifeEstimate out;
+  // Idle: monitor + baseline only.
+  const double idle_mw = model.rx_chain_mw + model.baseline_mw;
+  out.idle_hours = model.battery_mwh / idle_mw;
+
+  // Typical monitoring day: idle draw plus the transmit chain for the
+  // daily session duty cycle.
+  const double duty = daily_session_s / 86400.0;
+  const double monitoring_mw = idle_mw + duty * model.tx_chain_mw;
+  out.monitoring_hours = model.battery_mwh / monitoring_mw;
+
+  // Continuous attack: everything on, all the time.
+  const double attack_mw =
+      model.rx_chain_mw + model.baseline_mw + model.tx_chain_mw;
+  out.under_attack_hours = model.battery_mwh / attack_mw;
+  return out;
+}
+
+}  // namespace hs::shield

@@ -1,0 +1,37 @@
+// Shield battery-life estimation (paper section 7(e)).
+//
+// "In the absence of attacks, the shield jams only the IMD's transmissions
+// and hence transmits approximately as often as the IMD ... When the IMD
+// is under an active attack, the shield will have to transmit as often as
+// the adversary. However, since the shield transmits at the FCC power
+// limit for the MICS band, it can last for a day or longer even if
+// transmitting continuously."
+#pragma once
+
+namespace hs::shield {
+
+struct ShieldPowerModel {
+  /// Wearable battery capacity in milliwatt-hours (a small necklace cell).
+  double battery_mwh = 1200.0;
+  /// Radiated power at the FCC MICS limit is 25 uW; the radio chain
+  /// consumes far more. Power-amplifier chain draw while jamming (mW).
+  double tx_chain_mw = 45.0;
+  /// Receive/monitor chain draw (always on; the shield listens
+  /// continuously), mW.
+  double rx_chain_mw = 18.0;
+  /// Baseband/control electronics, mW.
+  double baseline_mw = 5.0;
+};
+
+struct BatteryLifeEstimate {
+  double idle_hours = 0.0;            ///< no IMD sessions, no attacks
+  double monitoring_hours = 0.0;      ///< typical day: brief IMD sessions
+  double under_attack_hours = 0.0;    ///< jamming continuously
+};
+
+/// `daily_session_s`: seconds per day the shield spends jamming IMD reply
+/// windows during legitimate telemetry sessions.
+BatteryLifeEstimate estimate_battery_life(const ShieldPowerModel& model,
+                                          double daily_session_s = 120.0);
+
+}  // namespace hs::shield

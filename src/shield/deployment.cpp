@@ -1,0 +1,45 @@
+#include "shield/deployment.hpp"
+
+#include "channel/geometry.hpp"
+
+namespace hs::shield {
+
+Deployment::Deployment(const DeploymentOptions& options) : options_(options) {
+  medium_ = std::make_unique<channel::Medium>(
+      options_.imd_profile.fsk.fs, options_.block_size, options_.seed,
+      options_.budget);
+  timeline_ = std::make_unique<sim::Timeline>(*medium_);
+
+  imd_ = std::make_unique<imd::ImdDevice>(options_.imd_profile, *medium_,
+                                          &timeline_->log(), options_.seed);
+  timeline_->add_node(imd_.get());
+
+  if (options_.shield_present) {
+    ShieldConfig cfg = options_.shield_config;
+    cfg.protected_id = options_.imd_profile.serial;
+    cfg.fsk = options_.imd_profile.fsk;
+    shield_ = std::make_unique<ShieldNode>(cfg, *medium_, &timeline_->log(),
+                                           options_.seed);
+    timeline_->add_node(shield_.get());
+    // The necklace's antennas face outward, away from the chest: extra
+    // attenuation from the shield toward the IMD (calibrated vs Table 1).
+    medium_->add_pair_loss(shield_->jam_antenna(), imd_->antenna(),
+                           channel::kShieldToImdDirectivityLossDb);
+    medium_->add_pair_loss(shield_->rx_antenna(), imd_->antenna(),
+                           channel::kShieldToImdDirectivityLossDb);
+  }
+
+  if (options_.with_observer) {
+    adversary::MonitorConfig mcfg;
+    mcfg.name = "observer";
+    mcfg.position = channel::kImdPosition;
+    mcfg.body_loss_db = options_.imd_profile.body_loss_db;
+    mcfg.fsk = options_.imd_profile.fsk;
+    observer_ = std::make_unique<adversary::MonitorNode>(mcfg, *medium_);
+    timeline_->add_node(observer_.get());
+  }
+
+  if (options_.warmup_s > 0.0) timeline_->run_for(options_.warmup_s);
+}
+
+}  // namespace hs::shield

@@ -1,0 +1,108 @@
+#include "shield/jamgen.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace hs::shield {
+
+using dsp::cplx;
+using dsp::Samples;
+
+std::vector<double> fsk_power_profile(const phy::FskParams& fsk,
+                                      std::size_t fft_size,
+                                      std::uint64_t seed) {
+  // Modulate a long random bit sequence and measure its Welch PSD with the
+  // generator's FFT size, so profile bins line up one-to-one.
+  dsp::Rng rng(seed, "fsk-profile");
+  phy::BitVec bits(4096);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_u64() & 1);
+  const Samples wave = phy::fsk_modulate(fsk, bits);
+
+  dsp::WelchOptions opt;
+  opt.segment_size = fft_size;
+  const auto psd = dsp::welch_psd(wave, fsk.fs, opt);
+
+  // welch_psd returns DC-centered bins; convert back to FFT order.
+  std::vector<double> profile(fft_size);
+  for (std::size_t i = 0; i < fft_size; ++i) {
+    const std::size_t centered = (i + fft_size / 2) % fft_size;
+    profile[i] = psd.power[centered];
+  }
+  // Normalize to unit mean.
+  const double mean =
+      std::accumulate(profile.begin(), profile.end(), 0.0) /
+      static_cast<double>(fft_size);
+  if (mean > 0.0) {
+    for (auto& p : profile) p /= mean;
+  }
+  return profile;
+}
+
+JammingSignalGenerator::JammingSignalGenerator(const phy::FskParams& fsk,
+                                               JamProfile profile,
+                                               std::uint64_t seed,
+                                               std::size_t fft_size)
+    : fsk_(fsk),
+      profile_(profile),
+      rng_(seed, "jamming"),
+      fft_size_(fft_size) {
+  if (!dsp::is_pow2(fft_size_)) {
+    throw std::invalid_argument("JammingSignalGenerator: fft_size not 2^k");
+  }
+  shaped_weights_ = fsk_power_profile(fsk_, fft_size_);
+  rebuild_weights();
+}
+
+void JammingSignalGenerator::rebuild_weights() {
+  if (profile_ == JamProfile::kShaped) {
+    weights_ = shaped_weights_;
+  } else {
+    weights_.assign(fft_size_, 1.0);
+  }
+  // For bin variances p_k, the IFFT sample variance is sum(p_k) / N^2.
+  // Scale so the time-domain mean power equals power_mw_.
+  const double sum = std::accumulate(weights_.begin(), weights_.end(), 0.0);
+  const double sample_var = sum / static_cast<double>(fft_size_ * fft_size_);
+  scale_ = std::sqrt(power_mw_ / std::max(sample_var, 1e-30));
+}
+
+void JammingSignalGenerator::set_power(double power_mw) {
+  power_mw_ = power_mw;
+  rebuild_weights();
+}
+
+void JammingSignalGenerator::set_profile(JamProfile profile) {
+  profile_ = profile;
+  rebuild_weights();
+}
+
+void JammingSignalGenerator::refill() {
+  Samples bins(fft_size_);
+  for (std::size_t k = 0; k < fft_size_; ++k) {
+    bins[k] = rng_.cgaussian(weights_[k]);
+  }
+  dsp::ifft_inplace(bins);
+  for (auto& x : bins) x *= scale_;
+  buffer_ = std::move(bins);
+  buffer_pos_ = 0;
+}
+
+Samples JammingSignalGenerator::next(std::size_t n) {
+  Samples out;
+  out.reserve(n);
+  while (out.size() < n) {
+    if (buffer_pos_ >= buffer_.size()) refill();
+    const std::size_t take =
+        std::min(n - out.size(), buffer_.size() - buffer_pos_);
+    out.insert(out.end(), buffer_.begin() + static_cast<long>(buffer_pos_),
+               buffer_.begin() + static_cast<long>(buffer_pos_ + take));
+    buffer_pos_ += take;
+  }
+  return out;
+}
+
+}  // namespace hs::shield

@@ -1,0 +1,72 @@
+// Multipath-capable antidote (paper footnote 2 of section 5):
+//
+//   "More generally, one could compute the multi-path channel and apply an
+//    equalizer on the time-domain antidote signal that inverts the
+//    multi-path of the jamming signal."
+//
+// The flat AntidoteController assumes H_jam->rec is a single complex gain.
+// When the coupling between the shield's antennas is frequency-selective
+// (multi-tap), a scalar antidote leaves a large residual. This module
+// estimates the two channels as FIR filters from the probe exchange and
+// designs a time-domain FIR antidote equalizer X(f) = -Hjr(f)/Hself(f),
+// realized by frequency sampling and applied to the jamming stream.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/fir.hpp"
+#include "dsp/types.hpp"
+
+namespace hs::shield {
+
+/// Least-squares FIR channel estimate: finds taps h[0..taps) minimizing
+/// ||y - h * x||^2 for a known probe x (block-Toeplitz normal equations,
+/// solved by Gaussian elimination; `taps` is small).
+dsp::Samples estimate_fir_channel(dsp::SampleView received,
+                                  dsp::SampleView probe, std::size_t taps);
+
+class MultitapAntidote {
+ public:
+  /// `fir_taps`: length of the estimated channel models;
+  /// `equalizer_taps`: length of the designed antidote filter (power of
+  /// two for the frequency-sampling design; longer = deeper cancellation).
+  MultitapAntidote(std::size_t fir_taps = 4, std::size_t equalizer_taps = 64);
+
+  /// Feeds the probe observations (same probes the flat controller uses).
+  void update_jam_channel(dsp::SampleView received, dsp::SampleView probe);
+  void update_self_channel(dsp::SampleView received, dsp::SampleView probe);
+
+  bool ready() const { return have_jam_ && have_self_; }
+
+  /// The estimated channel impulse responses.
+  const dsp::Samples& jam_channel_taps() const { return h_jam_; }
+  const dsp::Samples& self_channel_taps() const { return h_self_; }
+
+  /// Produces the antidote stream for the given jamming samples
+  /// (streaming; phase-continuous across calls).
+  dsp::Samples antidote_for(dsp::SampleView jamming);
+
+  /// Resets filter state (e.g., when re-estimating from scratch).
+  void reset_stream();
+
+  /// Predicted residual-to-jam power ratio (dB, negative is good) of this
+  /// equalizer against the current channel estimates, evaluated on white
+  /// jamming — a design-quality diagnostic.
+  double predicted_cancellation_db() const;
+
+ private:
+  void design_equalizer();
+
+  std::size_t fir_taps_;
+  std::size_t eq_taps_;
+  dsp::Samples h_jam_;
+  dsp::Samples h_self_;
+  bool have_jam_ = false;
+  bool have_self_ = false;
+  dsp::Samples eq_;  ///< antidote FIR taps
+  dsp::Samples stream_state_;
+  std::size_t stream_pos_ = 0;
+};
+
+}  // namespace hs::shield

@@ -1,0 +1,96 @@
+#include "shield/relay.hpp"
+
+namespace hs::shield {
+
+phy::ByteVec serialize_relay_frame(const phy::Frame& frame) {
+  phy::ByteVec out;
+  out.push_back(frame.type);
+  out.push_back(frame.seq);
+  out.push_back(static_cast<std::uint8_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+std::optional<phy::Frame> deserialize_relay_frame(phy::ByteView bytes,
+                                                  const phy::DeviceId& id) {
+  if (bytes.size() < 3) return std::nullopt;
+  phy::Frame frame;
+  frame.device_id = id;
+  frame.type = bytes[0];
+  frame.seq = bytes[1];
+  const std::size_t len = bytes[2];
+  if (bytes.size() != 3 + len || len > phy::kMaxPayloadBytes) {
+    return std::nullopt;
+  }
+  frame.payload.assign(bytes.begin() + 3, bytes.end());
+  return frame;
+}
+
+RelayService::RelayService(ShieldNode& shield, OutOfBandLink& link,
+                           crypto::ByteView psk, std::uint64_t session_id)
+    : shield_(shield),
+      link_(link),
+      channel_(crypto::ChannelRole::kShield, psk, session_id) {}
+
+void RelayService::poll() {
+  // Inbound: authorized commands toward the IMD.
+  while (!link_.to_shield.empty()) {
+    const auto envelope = link_.to_shield.front();
+    link_.to_shield.pop_front();
+    auto plain = channel_.receive(envelope);
+    if (!plain) {
+      ++rejected_;
+      continue;
+    }
+    auto frame = deserialize_relay_frame(
+        crypto::ByteView(plain->data(), plain->size()),
+        shield_.config().protected_id);
+    if (!frame) {
+      ++rejected_;
+      continue;
+    }
+    shield_.relay_command(*frame);
+  }
+  // Outbound: decoded IMD replies back to the programmer.
+  for (auto& reply : shield_.take_decoded_replies()) {
+    const auto bytes = serialize_relay_frame(reply.decode.frame);
+    link_.to_programmer.push_back(
+        channel_.send(crypto::ByteView(bytes.data(), bytes.size())));
+  }
+}
+
+AuthorizedProgrammer::AuthorizedProgrammer(OutOfBandLink& link,
+                                           crypto::ByteView psk,
+                                           std::uint64_t session_id)
+    : link_(link),
+      channel_(crypto::ChannelRole::kProgrammer, psk, session_id) {}
+
+void AuthorizedProgrammer::send_command(const phy::Frame& frame) {
+  const auto bytes = serialize_relay_frame(frame);
+  link_.to_shield.push_back(
+      channel_.send(crypto::ByteView(bytes.data(), bytes.size())));
+}
+
+std::vector<phy::Frame> AuthorizedProgrammer::poll_replies(
+    const phy::DeviceId& id) {
+  std::vector<phy::Frame> out;
+  while (!link_.to_programmer.empty()) {
+    const auto envelope = link_.to_programmer.front();
+    link_.to_programmer.pop_front();
+    auto plain = channel_.receive(envelope);
+    if (!plain) {
+      ++rejected_;
+      continue;
+    }
+    auto frame = deserialize_relay_frame(
+        crypto::ByteView(plain->data(), plain->size()), id);
+    if (!frame) {
+      ++rejected_;
+      continue;
+    }
+    out.push_back(std::move(*frame));
+  }
+  return out;
+}
+
+}  // namespace hs::shield

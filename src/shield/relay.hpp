@@ -1,0 +1,77 @@
+// Authorized programmer <-> shield proxying over an authenticated,
+// encrypted channel (paper section 4, Fig. 1).
+//
+// The paper assumes this channel exists (established in-band [19] or
+// out-of-band [28]) but does not design it; we realize it with the
+// crypto substrate: HKDF-derived directional keys from a pre-shared
+// pairing secret, ChaCha20-Poly1305 per message, sequence-number nonces
+// with replay protection. Transport is an in-memory out-of-band link —
+// the relevant property for the paper's security argument is that only
+// endpoints holding the pairing secret can produce envelopes the shield
+// accepts, which the tests exercise directly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "crypto/secure_channel.hpp"
+#include "imd/protocol.hpp"
+#include "phy/frame.hpp"
+#include "shield/shield.hpp"
+
+namespace hs::shield {
+
+/// Wire messages: a serialized frame (type + seq + payload), encrypted.
+phy::ByteVec serialize_relay_frame(const phy::Frame& frame);
+std::optional<phy::Frame> deserialize_relay_frame(phy::ByteView bytes,
+                                                  const phy::DeviceId& id);
+
+/// Bidirectional in-memory transport carrying sealed envelopes.
+struct OutOfBandLink {
+  std::deque<crypto::SecureChannel::Envelope> to_shield;
+  std::deque<crypto::SecureChannel::Envelope> to_programmer;
+};
+
+/// Shield-side relay service: decrypts incoming authorized commands and
+/// hands them to the ShieldNode; encrypts decoded IMD replies back.
+class RelayService {
+ public:
+  RelayService(ShieldNode& shield, OutOfBandLink& link, crypto::ByteView psk,
+               std::uint64_t session_id);
+
+  /// Pumps both directions once (call once per simulation block or less).
+  void poll();
+
+  std::size_t rejected_envelopes() const { return rejected_; }
+
+ private:
+  ShieldNode& shield_;
+  OutOfBandLink& link_;
+  crypto::SecureChannel channel_;
+  std::size_t rejected_ = 0;
+};
+
+/// Programmer-side endpoint: encrypts commands toward the shield and
+/// decrypts relayed IMD replies.
+class AuthorizedProgrammer {
+ public:
+  AuthorizedProgrammer(OutOfBandLink& link, crypto::ByteView psk,
+                       std::uint64_t session_id);
+
+  /// Sends a command for the shield to forward to the IMD.
+  void send_command(const phy::Frame& frame);
+
+  /// Drains and decrypts any relayed IMD replies.
+  std::vector<phy::Frame> poll_replies(const phy::DeviceId& id);
+
+  std::size_t rejected_envelopes() const { return rejected_; }
+
+ private:
+  OutOfBandLink& link_;
+  crypto::SecureChannel channel_;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace hs::shield

@@ -1,0 +1,76 @@
+#include "shield/wideband.hpp"
+
+#include "phy/frame.hpp"
+
+namespace hs::shield {
+
+WidebandMonitor::WidebandMonitor(const phy::DeviceId& protected_id,
+                                 const phy::FskParams& fsk,
+                                 std::size_t bthresh) {
+  phy::BitVec sid = phy::make_sid(protected_id);
+  sid.push_back(0);  // direction bit: commands only
+  for (auto& ch : per_channel_) {
+    ch.receiver = std::make_unique<phy::FskReceiver>(fsk);
+    ch.matcher = std::make_unique<SidMatcher>(sid, bthresh,
+                                              /*exact_suffix_bits=*/1);
+  }
+}
+
+void WidebandMonitor::push(dsp::SampleView wideband) {
+  consumed_ += wideband.size();
+  for (auto& s : scratch_) s.clear();
+  channelizer_.process(wideband, scratch_);
+  for (std::size_t c = 0; c < mics::kChannelCount; ++c) {
+    auto& ch = per_channel_[c];
+    auto& st = state_[c];
+    ch.receiver->push(scratch_[c]);
+
+    // Mid-packet S_id matching on the partially decoded bits.
+    if (ch.receiver->locked()) {
+      if (ch.receiver->lock_start_sample() != ch.lock_start) {
+        ch.lock_start = ch.receiver->lock_start_sample();
+        ch.checked_bits = 0;
+        ch.matcher->reset();
+      }
+      const auto& bits = ch.receiver->partial_bits();
+      for (std::size_t i = ch.checked_bits; i < bits.size(); ++i) {
+        if (ch.matcher->push(bits[i])) {
+          st.sid_matched = true;
+          ++st.matches;
+        }
+      }
+      ch.checked_bits = bits.size();
+    }
+    while (auto frame = ch.receiver->pop()) {
+      ++st.frames_seen;
+      st.last_rssi = frame->rssi;
+      // A large push may complete a frame within one call, skipping the
+      // mid-packet path entirely; scan the completed bits too.
+      if (!st.sid_matched &&
+          ch.matcher->matches_anywhere(phy::BitView(
+              frame->raw_bits.data(), frame->raw_bits.size()))) {
+        st.sid_matched = true;
+        ++st.matches;
+      }
+    }
+  }
+}
+
+std::uint16_t WidebandMonitor::jam_mask() const {
+  std::uint16_t mask = 0;
+  for (std::size_t c = 0; c < mics::kChannelCount; ++c) {
+    if (state_[c].sid_matched) {
+      mask = static_cast<std::uint16_t>(mask | (1u << c));
+    }
+  }
+  return mask;
+}
+
+void WidebandMonitor::clear_matches() {
+  for (std::size_t c = 0; c < mics::kChannelCount; ++c) {
+    state_[c].sid_matched = false;
+    per_channel_[c].matcher->reset();
+  }
+}
+
+}  // namespace hs::shield

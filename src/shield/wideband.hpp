@@ -1,0 +1,75 @@
+// Whole-band surveillance (paper section 7(c)).
+//
+// "The shield can listen to the entire 3 MHz MICS band ... This monitoring
+// allows the shield to detect and counter adversarial transmissions even
+// if the adversary uses frequency hopping or transmits in multiple
+// channels simultaneously to try to confuse the shield."
+//
+// The WidebandMonitor is that front end: a 3 MHz stream enters, the
+// channelizer splits it into ten 300 kHz baseband streams, and each stream
+// runs its own FSK receiver plus S_id matcher. Any channel whose partially
+// decoded bits match S_id within b_thresh is flagged for jamming.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mics/channelizer.hpp"
+#include "phy/receiver.hpp"
+#include "shield/sid_matcher.hpp"
+
+namespace hs::shield {
+
+struct WidebandChannelState {
+  bool sid_matched = false;     ///< S_id seen; channel must be jammed
+  std::size_t frames_seen = 0;  ///< completed receiver frames
+  std::size_t matches = 0;      ///< total S_id matches on this channel
+  double last_rssi = 0.0;       ///< of the most recent completed frame
+};
+
+class WidebandMonitor {
+ public:
+  /// `protected_id` selects S_id; `fsk` is the per-channel modulation.
+  WidebandMonitor(const phy::DeviceId& protected_id,
+                  const phy::FskParams& fsk, std::size_t bthresh = 4);
+
+  /// Consumes wideband samples at 3 MHz (any block size).
+  void push(dsp::SampleView wideband);
+
+  /// Per-channel activity since the last clear_matches().
+  const std::array<WidebandChannelState, mics::kChannelCount>& channels()
+      const {
+    return state_;
+  }
+
+  /// Channels whose current/last packet matched S_id (bitmask, bit i =
+  /// channel i) — the shield jams exactly these.
+  std::uint16_t jam_mask() const;
+
+  /// True if any channel currently demands jamming.
+  bool any_match() const { return jam_mask() != 0; }
+
+  /// Re-arms the per-channel matchers (after jamming concluded).
+  void clear_matches();
+
+  /// Total wideband samples consumed.
+  std::size_t sample_position() const { return consumed_; }
+
+ private:
+  struct PerChannel {
+    std::unique_ptr<phy::FskReceiver> receiver;
+    std::unique_ptr<SidMatcher> matcher;
+    std::size_t checked_bits = 0;
+    std::size_t lock_start = 0;
+  };
+
+  mics::Channelizer channelizer_;
+  std::array<dsp::Samples, mics::kChannelCount> scratch_;
+  std::array<PerChannel, mics::kChannelCount> per_channel_;
+  std::array<WidebandChannelState, mics::kChannelCount> state_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace hs::shield

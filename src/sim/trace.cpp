@@ -1,0 +1,67 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace hs::sim {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTxStart:
+      return "tx-start";
+    case EventKind::kTxEnd:
+      return "tx-end";
+    case EventKind::kFrameReceived:
+      return "frame-received";
+    case EventKind::kFrameCorrupted:
+      return "frame-corrupted";
+    case EventKind::kCommandExecuted:
+      return "command-executed";
+    case EventKind::kJamStart:
+      return "jam-start";
+    case EventKind::kJamEnd:
+      return "jam-end";
+    case EventKind::kAlarm:
+      return "alarm";
+    case EventKind::kProbe:
+      return "probe";
+    case EventKind::kInfo:
+      return "info";
+  }
+  return "unknown";
+}
+
+void EventLog::record(double time_s, std::string source, EventKind kind,
+                      std::string detail) {
+  events_.push_back({time_s, std::move(source), kind, std::move(detail)});
+}
+
+std::vector<Event> EventLog::filter(EventKind kind,
+                                    std::string_view source) const {
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind && (source.empty() || e.source == source)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::size_t EventLog::count(EventKind kind, std::string_view source) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind && (source.empty() || e.source == source)) ++n;
+  }
+  return n;
+}
+
+std::string EventLog::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : events_) {
+    os << e.time_s << "s  [" << e.source << "] " << event_kind_name(e.kind);
+    if (!e.detail.empty()) os << "  " << e.detail;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hs::sim

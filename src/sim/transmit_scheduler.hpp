@@ -1,0 +1,43 @@
+// Helper used by every transmitting node: queue waveforms to start at
+// absolute sample indices, then emit the right slice each block.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace hs::sim {
+
+class TransmitScheduler {
+ public:
+  /// Schedules `waveform` to start at absolute sample `start`.
+  /// Overlapping waveforms superpose.
+  void schedule(std::size_t start, dsp::Samples waveform);
+
+  /// Fills `out` (resized to `block_size`) with this block's samples.
+  /// Returns true if anything non-zero was emitted.
+  bool fill(std::size_t block_start, std::size_t block_size,
+            dsp::Samples& out);
+
+  /// True if any scheduled waveform overlaps [at, at+1).
+  bool busy_at(std::size_t sample) const;
+
+  /// Absolute sample index after the last scheduled sample (0 if idle).
+  std::size_t busy_until() const;
+
+  /// Drops all scheduled waveforms (used when a node switches to jamming
+  /// mid-transmission).
+  void cancel_all();
+
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::size_t start;
+    dsp::Samples waveform;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hs::sim

@@ -1,0 +1,221 @@
+// ChaCha20 / Poly1305 / AEAD against the RFC 8439 test vectors.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "crypto/aead.hpp"
+
+namespace hs::crypto {
+namespace {
+
+std::string to_hex(ByteView bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+const char* kSunscreen =
+    "Ladies and Gentlemen of the class of '99: If I could offer you only "
+    "one tip for the future, sunscreen would be it.";
+
+ChaCha20::Key rfc_key() {
+  ChaCha20::Key key;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i);
+  }
+  return key;
+}
+
+TEST(ChaCha20, Rfc8439Section242Encryption) {
+  const auto key = rfc_key();
+  ChaCha20::Nonce nonce = {0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  ChaCha20 cipher(key, nonce, /*counter=*/1);
+  const Bytes plaintext(kSunscreen, kSunscreen + std::strlen(kSunscreen));
+  const auto ct = cipher.apply(ByteView(plaintext.data(), plaintext.size()));
+  ASSERT_EQ(ct.size(), 114u);
+  EXPECT_EQ(to_hex(ByteView(ct.data(), 16)),
+            "6e2e359a2568f98041ba0728dd0d6981");
+  EXPECT_EQ(to_hex(ByteView(ct.data() + 96, 18)),
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip) {
+  const auto key = rfc_key();
+  ChaCha20::Nonce nonce{};
+  Bytes msg(1000);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  ChaCha20 enc(key, nonce, 7);
+  const auto ct = enc.apply(ByteView(msg.data(), msg.size()));
+  EXPECT_NE(ct, msg);
+  ChaCha20 dec(key, nonce, 7);
+  EXPECT_EQ(dec.apply(ByteView(ct.data(), ct.size())), msg);
+}
+
+TEST(ChaCha20, StreamingMatchesOneShot) {
+  const auto key = rfc_key();
+  ChaCha20::Nonce nonce{};
+  Bytes msg(300, 0x5a);
+  ChaCha20 one(key, nonce, 0);
+  const auto expected = one.apply(ByteView(msg.data(), msg.size()));
+  ChaCha20 two(key, nonce, 0);
+  Bytes streamed = msg;
+  for (std::size_t i = 0; i < streamed.size(); i += 13) {
+    const std::size_t n = std::min<std::size_t>(13, streamed.size() - i);
+    two.apply(streamed.data() + i, n);
+  }
+  EXPECT_EQ(streamed, expected);
+}
+
+TEST(Poly1305, Rfc8439Section252) {
+  Poly1305::Key key = {0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33,
+                       0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5, 0x06, 0xa8,
+                       0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd,
+                       0x4a, 0xbf, 0xf6, 0xaf, 0x41, 0x49, 0xf5, 0x1b};
+  const char* msg = "Cryptographic Forum Research Group";
+  const auto tag = Poly1305::mac(
+      key, ByteView(reinterpret_cast<const std::uint8_t*>(msg),
+                    std::strlen(msg)));
+  EXPECT_EQ(to_hex(ByteView(tag.data(), tag.size())),
+            "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305, VerifyConstantTimeEquality) {
+  Poly1305::Tag a{}, b{};
+  EXPECT_TRUE(Poly1305::verify(a, b));
+  b[15] = 1;
+  EXPECT_FALSE(Poly1305::verify(a, b));
+}
+
+TEST(Poly1305, IncrementalMatchesOneShot) {
+  Poly1305::Key key{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  Bytes msg(259);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::uint8_t>(i);
+  }
+  const auto oneshot = Poly1305::mac(key, ByteView(msg.data(), msg.size()));
+  Poly1305 mac(key);
+  for (std::size_t i = 0; i < msg.size(); i += 7) {
+    const std::size_t n = std::min<std::size_t>(7, msg.size() - i);
+    mac.update(ByteView(msg.data() + i, n));
+  }
+  EXPECT_EQ(mac.finalize(), oneshot);
+}
+
+TEST(Aead, Rfc8439Section282) {
+  Aead::Key key;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(0x80 + i);
+  }
+  Aead::Nonce nonce = {0x07, 0x00, 0x00, 0x00, 0x40, 0x41,
+                       0x42, 0x43, 0x44, 0x45, 0x46, 0x47};
+  const std::uint8_t aad[] = {0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1,
+                              0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7};
+  const Bytes plaintext(kSunscreen, kSunscreen + std::strlen(kSunscreen));
+  const auto sealed = Aead::seal(
+      key, nonce, ByteView(plaintext.data(), plaintext.size()),
+      ByteView(aad, sizeof(aad)));
+  EXPECT_EQ(to_hex(ByteView(sealed.ciphertext.data(), 16)),
+            "d31a8d34648e60db7b86afbc53ef7ec2");
+  EXPECT_EQ(to_hex(ByteView(sealed.tag.data(), sealed.tag.size())),
+            "1ae10b594f09e26a7e902ecbd0600691");
+
+  const auto opened = Aead::open(
+      key, nonce, ByteView(sealed.ciphertext.data(), sealed.ciphertext.size()),
+      sealed.tag, ByteView(aad, sizeof(aad)));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(Aead, TamperedCiphertextRejected) {
+  Aead::Key key{};
+  Aead::Nonce nonce{};
+  const Bytes msg = {1, 2, 3, 4, 5};
+  auto sealed = Aead::seal(key, nonce, ByteView(msg.data(), msg.size()), {});
+  sealed.ciphertext[2] ^= 0x01;
+  EXPECT_FALSE(Aead::open(key, nonce,
+                          ByteView(sealed.ciphertext.data(),
+                                   sealed.ciphertext.size()),
+                          sealed.tag, {})
+                   .has_value());
+}
+
+TEST(Aead, TamperedAadRejected) {
+  Aead::Key key{};
+  Aead::Nonce nonce{};
+  const Bytes msg = {9, 9, 9};
+  const std::uint8_t aad1[] = {1, 2, 3};
+  const std::uint8_t aad2[] = {1, 2, 4};
+  const auto sealed = Aead::seal(key, nonce, ByteView(msg.data(), msg.size()),
+                                 ByteView(aad1, 3));
+  EXPECT_FALSE(Aead::open(key, nonce,
+                          ByteView(sealed.ciphertext.data(),
+                                   sealed.ciphertext.size()),
+                          sealed.tag, ByteView(aad2, 3))
+                   .has_value());
+}
+
+TEST(Aead, WrongKeyRejected) {
+  Aead::Key key{}, other{};
+  other[0] = 1;
+  Aead::Nonce nonce{};
+  const Bytes msg = {1, 2, 3};
+  const auto sealed =
+      Aead::seal(key, nonce, ByteView(msg.data(), msg.size()), {});
+  EXPECT_FALSE(Aead::open(other, nonce,
+                          ByteView(sealed.ciphertext.data(),
+                                   sealed.ciphertext.size()),
+                          sealed.tag, {})
+                   .has_value());
+}
+
+TEST(Aead, WrongNonceRejected) {
+  Aead::Key key{};
+  Aead::Nonce nonce{}, other{};
+  other[11] = 1;
+  const Bytes msg = {1, 2, 3};
+  const auto sealed =
+      Aead::seal(key, nonce, ByteView(msg.data(), msg.size()), {});
+  EXPECT_FALSE(Aead::open(key, other,
+                          ByteView(sealed.ciphertext.data(),
+                                   sealed.ciphertext.size()),
+                          sealed.tag, {})
+                   .has_value());
+}
+
+class AeadSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AeadSizes, RoundTripAllSizes) {
+  Aead::Key key{};
+  key[31] = 7;
+  Aead::Nonce nonce{};
+  nonce[0] = 3;
+  Bytes msg(GetParam());
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  }
+  const std::uint8_t aad[] = {0xde, 0xad};
+  const auto sealed = Aead::seal(key, nonce, ByteView(msg.data(), msg.size()),
+                                 ByteView(aad, 2));
+  const auto opened = Aead::open(
+      key, nonce, ByteView(sealed.ciphertext.data(), sealed.ciphertext.size()),
+      sealed.tag, ByteView(aad, 2));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AeadSizes,
+                         ::testing::Values(0, 1, 15, 16, 17, 63, 64, 65, 255,
+                                           1024));
+
+}  // namespace
+}  // namespace hs::crypto

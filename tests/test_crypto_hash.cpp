@@ -1,0 +1,167 @@
+// SHA-256 / HMAC / HKDF against FIPS 180-4, RFC 4231 and RFC 5869 vectors.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/sha256.hpp"
+
+namespace hs::crypto {
+namespace {
+
+std::string to_hex(ByteView bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+Bytes from_string(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+TEST(Sha256, EmptyInput) {
+  const auto d = Sha256::hash({});
+  EXPECT_EQ(to_hex(ByteView(d.data(), d.size())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b8"
+            "55");
+}
+
+TEST(Sha256, Abc) {
+  const auto msg = from_string("abc");
+  const auto d = Sha256::hash(ByteView(msg.data(), msg.size()));
+  EXPECT_EQ(to_hex(ByteView(d.data(), d.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015"
+            "ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  const auto msg =
+      from_string("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  const auto d = Sha256::hash(ByteView(msg.data(), msg.size()));
+  EXPECT_EQ(to_hex(ByteView(d.data(), d.size())),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06"
+            "c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(ByteView(chunk.data(), chunk.size()));
+  const auto d = h.finalize();
+  EXPECT_EQ(to_hex(ByteView(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112c"
+            "d0");
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  const auto m1 = from_string("abc");
+  h.update(ByteView(m1.data(), m1.size()));
+  h.finalize();
+  h.reset();
+  h.update(ByteView(m1.data(), m1.size()));
+  const auto d = h.finalize();
+  EXPECT_EQ(to_hex(ByteView(d.data(), d.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015"
+            "ad");
+}
+
+class Sha256Chunking : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256Chunking, IncrementalMatchesOneShot) {
+  const std::size_t chunk = GetParam();
+  Bytes msg(731);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  const auto oneshot = Sha256::hash(ByteView(msg.data(), msg.size()));
+  Sha256 h;
+  for (std::size_t i = 0; i < msg.size(); i += chunk) {
+    const std::size_t n = std::min(chunk, msg.size() - i);
+    h.update(ByteView(msg.data() + i, n));
+  }
+  EXPECT_EQ(h.finalize(), oneshot);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, Sha256Chunking,
+                         ::testing::Values(1, 3, 17, 63, 64, 65, 128, 731));
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto msg = from_string("Hi There");
+  const auto tag = hmac_sha256(ByteView(key.data(), key.size()),
+                               ByteView(msg.data(), msg.size()));
+  EXPECT_EQ(to_hex(ByteView(tag.data(), tag.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cf"
+            "f7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const auto key = from_string("Jefe");
+  const auto msg = from_string("what do ya want for nothing?");
+  const auto tag = hmac_sha256(ByteView(key.data(), key.size()),
+                               ByteView(msg.data(), msg.size()));
+  EXPECT_EQ(to_hex(ByteView(tag.data(), tag.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec38"
+            "43");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  const Bytes key(131, 0xaa);
+  const auto msg =
+      from_string("Test Using Larger Than Block-Size Key - Hash Key First");
+  const auto tag = hmac_sha256(ByteView(key.data(), key.size()),
+                               ByteView(msg.data(), msg.size()));
+  EXPECT_EQ(to_hex(ByteView(tag.data(), tag.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f"
+            "54");
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt(13);
+  for (std::size_t i = 0; i < salt.size(); ++i) {
+    salt[i] = static_cast<std::uint8_t>(i);
+  }
+  Bytes info(10);
+  for (std::size_t i = 0; i < info.size(); ++i) {
+    info[i] = static_cast<std::uint8_t>(0xf0 + i);
+  }
+  const auto okm = hkdf_sha256(ByteView(salt.data(), salt.size()),
+                               ByteView(ikm.data(), ikm.size()),
+                               ByteView(info.data(), info.size()), 42);
+  EXPECT_EQ(to_hex(ByteView(okm.data(), okm.size())),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5"
+            "bf34007208d5b887185865");
+}
+
+TEST(Hkdf, DifferentInfoDifferentKeys) {
+  const auto ikm = from_string("pairing-secret");
+  const auto a = hkdf_sha256({}, ByteView(ikm.data(), ikm.size()),
+                             ByteView(reinterpret_cast<const std::uint8_t*>(
+                                          "shield->prog"),
+                                      12),
+                             32);
+  const auto b = hkdf_sha256({}, ByteView(ikm.data(), ikm.size()),
+                             ByteView(reinterpret_cast<const std::uint8_t*>(
+                                          "prog->shield"),
+                                      12),
+                             32);
+  EXPECT_NE(a, b);
+}
+
+TEST(Hkdf, LengthTooLargeThrows) {
+  EXPECT_THROW(hkdf_sha256({}, {}, {}, 255 * 32 + 1), std::invalid_argument);
+}
+
+TEST(Hkdf, RequestedLengthHonored) {
+  for (std::size_t len : {1u, 16u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(hkdf_sha256({}, {}, {}, len).size(), len);
+  }
+}
+
+}  // namespace
+}  // namespace hs::crypto

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/secure_channel.hpp"
+
+namespace hs::crypto {
+namespace {
+
+ByteView psk() {
+  static const std::uint8_t raw[] = "pairing-secret-from-the-clinic";
+  return ByteView(raw, sizeof(raw) - 1);
+}
+
+Bytes msg(const char* s) {
+  return Bytes(s, s + std::strlen(s));
+}
+
+TEST(SecureChannel, RoundTripBothDirections) {
+  SecureChannel shield(ChannelRole::kShield, psk(), 1);
+  SecureChannel prog(ChannelRole::kProgrammer, psk(), 1);
+
+  const auto m1 = msg("interrogate");
+  auto env = prog.send(ByteView(m1.data(), m1.size()));
+  auto got = shield.receive(env);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, m1);
+
+  const auto m2 = msg("ecg-data");
+  env = shield.send(ByteView(m2.data(), m2.size()));
+  got = prog.receive(env);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, m2);
+}
+
+TEST(SecureChannel, ReplayRejected) {
+  SecureChannel shield(ChannelRole::kShield, psk(), 2);
+  SecureChannel prog(ChannelRole::kProgrammer, psk(), 2);
+  const auto m = msg("set-therapy");
+  const auto env = prog.send(ByteView(m.data(), m.size()));
+  EXPECT_TRUE(shield.receive(env).has_value());
+  // The adversary records and replays it verbatim.
+  EXPECT_FALSE(shield.receive(env).has_value());
+}
+
+TEST(SecureChannel, ReorderingWithinWindowAccepted) {
+  SecureChannel shield(ChannelRole::kShield, psk(), 3);
+  SecureChannel prog(ChannelRole::kProgrammer, psk(), 3);
+  const auto m = msg("x");
+  const auto e0 = prog.send(ByteView(m.data(), m.size()));
+  const auto e1 = prog.send(ByteView(m.data(), m.size()));
+  const auto e2 = prog.send(ByteView(m.data(), m.size()));
+  EXPECT_TRUE(shield.receive(e2).has_value());
+  EXPECT_TRUE(shield.receive(e0).has_value());
+  EXPECT_TRUE(shield.receive(e1).has_value());
+  // But replaying any of them still fails.
+  EXPECT_FALSE(shield.receive(e0).has_value());
+  EXPECT_FALSE(shield.receive(e2).has_value());
+}
+
+TEST(SecureChannel, VeryOldMessageRejected) {
+  SecureChannel shield(ChannelRole::kShield, psk(), 4);
+  SecureChannel prog(ChannelRole::kProgrammer, psk(), 4);
+  const auto m = msg("x");
+  const auto old = prog.send(ByteView(m.data(), m.size()));  // seq 0
+  // Advance far beyond the replay window.
+  SecureChannel::Envelope last;
+  for (int i = 0; i < 100; ++i) last = prog.send(ByteView(m.data(), m.size()));
+  EXPECT_TRUE(shield.receive(last).has_value());
+  EXPECT_FALSE(shield.receive(old).has_value());
+}
+
+TEST(SecureChannel, TamperedEnvelopeRejected) {
+  SecureChannel shield(ChannelRole::kShield, psk(), 5);
+  SecureChannel prog(ChannelRole::kProgrammer, psk(), 5);
+  const auto m = msg("therapy");
+  auto env = prog.send(ByteView(m.data(), m.size()));
+  env.ciphertext[0] ^= 1;
+  EXPECT_FALSE(shield.receive(env).has_value());
+}
+
+TEST(SecureChannel, SequenceNumberForgeryRejected) {
+  SecureChannel shield(ChannelRole::kShield, psk(), 6);
+  SecureChannel prog(ChannelRole::kProgrammer, psk(), 6);
+  const auto m = msg("x");
+  auto env = prog.send(ByteView(m.data(), m.size()));
+  env.sequence += 1;  // claim a different sequence number
+  EXPECT_FALSE(shield.receive(env).has_value());
+}
+
+TEST(SecureChannel, WrongPskRejected) {
+  SecureChannel shield(ChannelRole::kShield, psk(), 7);
+  const std::uint8_t other_raw[] = "some-other-secret";
+  SecureChannel prog(ChannelRole::kProgrammer,
+                     ByteView(other_raw, sizeof(other_raw) - 1), 7);
+  const auto m = msg("x");
+  EXPECT_FALSE(shield.receive(prog.send(ByteView(m.data(), m.size())))
+                   .has_value());
+}
+
+TEST(SecureChannel, DifferentSessionsAreIsolated) {
+  SecureChannel shield(ChannelRole::kShield, psk(), 8);
+  SecureChannel prog(ChannelRole::kProgrammer, psk(), 9);
+  const auto m = msg("x");
+  EXPECT_FALSE(shield.receive(prog.send(ByteView(m.data(), m.size())))
+                   .has_value());
+}
+
+TEST(SecureChannel, DirectionsUseDistinctKeys) {
+  SecureChannel shield(ChannelRole::kShield, psk(), 10);
+  SecureChannel prog(ChannelRole::kProgrammer, psk(), 10);
+  const auto m = msg("identical message");
+  const auto from_shield = shield.send(ByteView(m.data(), m.size()));
+  const auto from_prog = prog.send(ByteView(m.data(), m.size()));
+  EXPECT_NE(from_shield.ciphertext, from_prog.ciphertext);
+  // A shield cannot be made to accept its own transmission (reflection).
+  EXPECT_FALSE(shield.receive(from_shield).has_value());
+}
+
+TEST(SecureChannel, SendSequenceIncrements) {
+  SecureChannel prog(ChannelRole::kProgrammer, psk(), 11);
+  const auto m = msg("x");
+  EXPECT_EQ(prog.send(ByteView(m.data(), m.size())).sequence, 0u);
+  EXPECT_EQ(prog.send(ByteView(m.data(), m.size())).sequence, 1u);
+  EXPECT_EQ(prog.next_send_sequence(), 2u);
+}
+
+TEST(SecureChannel, EmptyMessageSupported) {
+  SecureChannel shield(ChannelRole::kShield, psk(), 12);
+  SecureChannel prog(ChannelRole::kProgrammer, psk(), 12);
+  const auto env = prog.send({});
+  const auto got = shield.receive(env);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+}  // namespace
+}  // namespace hs::crypto

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "dsp/rng.hpp"
+
+namespace hs::dsp {
+namespace {
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(255), 256u);
+  EXPECT_EQ(next_pow2(256), 256u);
+  EXPECT_EQ(next_pow2(257), 512u);
+}
+
+TEST(Fft, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(65));
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  Samples data(100);
+  EXPECT_THROW(fft_inplace(data), std::invalid_argument);
+}
+
+TEST(Fft, ImpulseIsFlat) {
+  Samples data(64, cplx{});
+  data[0] = 1.0;
+  fft_inplace(data);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcGoesToBinZero) {
+  Samples data(32, cplx{2.0, 0.0});
+  fft_inplace(data);
+  EXPECT_NEAR(std::abs(data[0]), 64.0, 1e-9);
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, SingleToneLandsInItsBin) {
+  const std::size_t n = 128;
+  const std::size_t k = 9;
+  Samples data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = kTwoPi * static_cast<double>(k * i) / n;
+    data[i] = {std::cos(phase), std::sin(phase)};
+  }
+  fft_inplace(data);
+  EXPECT_NEAR(std::abs(data[k]), static_cast<double>(n), 1e-9);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != k) EXPECT_LT(std::abs(data[i]), 1e-8);
+  }
+}
+
+TEST(Fft, Linearity) {
+  Rng rng(1);
+  Samples a(64), b(64);
+  rng.fill_awgn(a, 1.0);
+  rng.fill_awgn(b, 1.0);
+  Samples sum(64);
+  for (int i = 0; i < 64; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  auto fa = fft(a), fb = fft(b), fs = fft(sum);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(std::abs(fs[i] - (2.0 * fa[i] + 3.0 * fb[i])), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, Parseval) {
+  Rng rng(2);
+  Samples data(256);
+  rng.fill_awgn(data, 1.0);
+  double time_energy = 0;
+  for (const auto& x : data) time_energy += std::norm(x);
+  auto freq = fft(data);
+  double freq_energy = 0;
+  for (const auto& x : freq) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / 256.0, time_energy, 1e-6 * time_energy);
+}
+
+TEST(Fft, ShiftThenUnshiftIsIdentity) {
+  Rng rng(3);
+  Samples data(64);
+  rng.fill_awgn(data, 1.0);
+  auto round = ifftshift(fftshift(data));
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(std::abs(round[i] - data[i]), 0.0, 1e-15);
+  }
+}
+
+TEST(Fft, FftshiftCentersDc) {
+  Samples data(8, cplx{});
+  data[0] = 1.0;  // DC bin
+  auto shifted = fftshift(data);
+  EXPECT_NEAR(std::abs(shifted[4]), 1.0, 1e-12);
+}
+
+TEST(Fft, BinFrequencyHalves) {
+  EXPECT_NEAR(bin_frequency(0, 8, 800.0), 0.0, 1e-12);
+  EXPECT_NEAR(bin_frequency(1, 8, 800.0), 100.0, 1e-12);
+  EXPECT_NEAR(bin_frequency(7, 8, 800.0), -100.0, 1e-12);
+  EXPECT_NEAR(bin_frequency(4, 8, 800.0), -400.0, 1e-12);
+}
+
+TEST(Fft, FrequencyBinRoundTrip) {
+  const std::size_t n = 256;
+  const double fs = 300e3;
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(frequency_bin(bin_frequency(k, n, fs), n, fs), k);
+  }
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, IfftInvertsFft) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  Samples data(n);
+  rng.fill_awgn(data, 1.0);
+  Samples work = data;
+  fft_inplace(work);
+  ifft_inplace(work);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(work[i] - data[i]), 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(2, 8, 64, 256, 1024, 4096));
+
+}  // namespace
+}  // namespace hs::dsp

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fir.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/window.hpp"
+
+namespace hs::dsp {
+namespace {
+
+TEST(Window, HannEndpointsAndPeak) {
+  const auto w = make_window(WindowType::kHann, 65);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(Window, HammingEndpoints) {
+  const auto w = make_window(WindowType::kHamming, 33);
+  EXPECT_NEAR(w.front(), 0.08, 1e-12);
+  EXPECT_NEAR(w.back(), 0.08, 1e-12);
+}
+
+TEST(Window, Symmetry) {
+  for (auto type : {WindowType::kHann, WindowType::kHamming,
+                    WindowType::kBlackman}) {
+    const auto w = make_window(type, 51);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+    }
+  }
+}
+
+TEST(Window, RectangularIsOnes) {
+  const auto w = make_window(WindowType::kRectangular, 16);
+  for (double v : w) EXPECT_EQ(v, 1.0);
+}
+
+TEST(Window, PowerOfRectangular) {
+  EXPECT_NEAR(window_power(make_window(WindowType::kRectangular, 10)), 10.0,
+              1e-12);
+}
+
+TEST(FirDesign, LowpassUnitDcGain) {
+  const auto h = design_lowpass(0.2, 63);
+  double sum = 0;
+  for (double v : h) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(FirDesign, LowpassRejectsBadArgs) {
+  EXPECT_THROW(design_lowpass(0.0, 31), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(0.5, 31), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(0.2, 32), std::invalid_argument);
+}
+
+TEST(FirDesign, LowpassPassesPassbandRejectsStopband) {
+  const auto h = design_lowpass(0.1, 101);
+  const double fs = 1.0;
+  EXPECT_NEAR(fir_power_response(h, 0.02, fs), 1.0, 0.05);
+  EXPECT_LT(fir_power_response(h, 0.3, fs), 1e-4);
+}
+
+TEST(FirDesign, BandpassCentersGain) {
+  const double fs = 300e3;
+  const auto h = design_bandpass(50e3, 20e3, fs, 101);
+  // Power response via direct evaluation.
+  auto response = [&](double f) {
+    cplx acc{};
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      const double phase = -kTwoPi * f / fs * static_cast<double>(i);
+      acc += h[i] * cplx(std::cos(phase), std::sin(phase));
+    }
+    return std::norm(acc);
+  };
+  EXPECT_NEAR(response(50e3), 1.0, 0.05);
+  EXPECT_LT(response(-50e3), 1e-4);
+  EXPECT_LT(response(120e3), 1e-3);
+}
+
+TEST(FirDesign, GaussianUnitDcGainAndSymmetry) {
+  const auto h = design_gaussian(0.5, 12, 3);
+  double sum = 0;
+  for (double v : h) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_NEAR(h[i], h[h.size() - 1 - i], 1e-12);
+  }
+}
+
+TEST(FirFilter, StreamingMatchesBatch) {
+  Rng rng(4);
+  Samples input(500);
+  rng.fill_awgn(input, 1.0);
+  const auto taps = design_lowpass(0.2, 31);
+
+  FirFilter one(taps);
+  const Samples batch = one.process(input);
+
+  FirFilter two(taps);
+  Samples streamed;
+  for (std::size_t i = 0; i < input.size(); i += 7) {
+    const std::size_t n = std::min<std::size_t>(7, input.size() - i);
+    two.process(SampleView(input.data() + i, n), streamed);
+  }
+  ASSERT_EQ(batch.size(), streamed.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NEAR(std::abs(batch[i] - streamed[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(FirFilter, ResetClearsHistory) {
+  const auto taps = design_lowpass(0.2, 31);
+  FirFilter f(taps);
+  Rng rng(5);
+  Samples input(64);
+  rng.fill_awgn(input, 1.0);
+  const auto first = f.process(input);
+  f.reset();
+  const auto second = f.process(input);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_NEAR(std::abs(first[i] - second[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(FirFilter, GroupDelay) {
+  FirFilter f(design_lowpass(0.25, 41));
+  EXPECT_DOUBLE_EQ(f.group_delay(), 20.0);
+}
+
+TEST(FirFilter, ImpulseResponseIsTaps) {
+  const std::vector<double> taps = {0.5, 0.25, 0.25};
+  FirFilter f(taps);
+  Samples impulse(5, cplx{});
+  impulse[0] = 1.0;
+  const auto out = f.process(impulse);
+  EXPECT_NEAR(out[0].real(), 0.5, 1e-12);
+  EXPECT_NEAR(out[1].real(), 0.25, 1e-12);
+  EXPECT_NEAR(out[2].real(), 0.25, 1e-12);
+  EXPECT_NEAR(out[3].real(), 0.0, 1e-12);
+}
+
+TEST(ComplexFirFilter, StreamingMatchesBatch) {
+  Rng rng(6);
+  Samples input(300);
+  rng.fill_awgn(input, 1.0);
+  const auto taps = design_bandpass(40e3, 15e3, 300e3, 41);
+
+  ComplexFirFilter one(taps);
+  const auto batch = one.process(input);
+  ComplexFirFilter two(taps);
+  Samples streamed;
+  for (std::size_t i = 0; i < input.size(); i += 13) {
+    const std::size_t n = std::min<std::size_t>(13, input.size() - i);
+    two.process(SampleView(input.data() + i, n), streamed);
+  }
+  ASSERT_EQ(batch.size(), streamed.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NEAR(std::abs(batch[i] - streamed[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(ComplexFirFilter, EmptyTapsThrow) {
+  EXPECT_THROW(ComplexFirFilter(Samples{}), std::invalid_argument);
+  EXPECT_THROW(FirFilter(std::vector<double>{}), std::invalid_argument);
+}
+
+class LowpassCutoffSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LowpassCutoffSweep, StopbandAlwaysAttenuated) {
+  const double cutoff = GetParam();
+  const auto h = design_lowpass(cutoff, 101);
+  // Probe 1.8x the cutoff and beyond: should be well down.
+  for (double f = cutoff * 1.8; f < 0.5; f += 0.05) {
+    EXPECT_LT(fir_power_response(h, f, 1.0), 0.05)
+        << "cutoff " << cutoff << " freq " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, LowpassCutoffSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3));
+
+}  // namespace
+}  // namespace hs::dsp

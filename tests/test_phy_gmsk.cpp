@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/rng.hpp"
+#include "dsp/spectrum.hpp"
+#include "phy/gmsk.hpp"
+
+namespace hs::phy {
+namespace {
+
+BitVec random_bits(std::size_t n, std::uint64_t seed) {
+  dsp::Rng rng(seed);
+  BitVec bits(n);
+  for (auto& b : bits) b = rng.next_u64() & 1;
+  return bits;
+}
+
+TEST(Gmsk, ConstantEnvelope) {
+  GmskParams p;
+  GmskModulator mod(p);
+  const auto wave = mod.modulate(random_bits(128, 1));
+  for (const auto& x : wave) EXPECT_NEAR(std::abs(x), 1.0, 1e-9);
+}
+
+TEST(Gmsk, OutputLength) {
+  GmskParams p;
+  GmskModulator mod(p);
+  EXPECT_EQ(mod.modulate(random_bits(100, 2)).size(), 100 * p.sps);
+}
+
+TEST(Gmsk, RoundTrip) {
+  GmskParams p;
+  GmskModulator mod(p);
+  const auto bits = random_bits(400, 3);
+  const auto wave = mod.modulate(bits);
+  GmskDemodulator demod(p);
+  const auto out = demod.demodulate(wave, 0, bits.size());
+  // The pulse delay truncates the tail; everything demodulated must match.
+  ASSERT_GT(out.size(), bits.size() - 4);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) errors += out[i] != bits[i];
+  EXPECT_EQ(errors, 0u);
+}
+
+TEST(Gmsk, RoundTripUnderMildNoise) {
+  GmskParams p;
+  GmskModulator mod(p);
+  const auto bits = random_bits(500, 4);
+  auto wave = mod.modulate(bits);
+  dsp::Rng noise(5);
+  for (auto& x : wave) x += noise.cgaussian(1e-3);  // 30 dB SNR
+  GmskDemodulator demod(p);
+  const auto out = demod.demodulate(wave, 0, bits.size());
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) errors += out[i] != bits[i];
+  EXPECT_LT(static_cast<double>(errors) / out.size(), 0.01);
+}
+
+TEST(Gmsk, SpectrumIsNarrowerThanFsk) {
+  // GMSK concentrates power near DC (MSK-like, h = 0.5), unlike the
+  // +-50 kHz FSK tones; this is why the shield's S_id matcher never fires
+  // on radiosonde traffic.
+  GmskParams p;
+  GmskModulator mod(p);
+  const auto wave = mod.modulate(random_bits(2000, 6));
+  const double near_dc = dsp::band_power(wave, p.fs, -20e3, 20e3);
+  const double at_fsk_tones = dsp::band_power(wave, p.fs, 35e3, 65e3) +
+                              dsp::band_power(wave, p.fs, -65e3, -35e3);
+  EXPECT_GT(near_dc, 10.0 * at_fsk_tones);
+}
+
+TEST(Gmsk, ResetRestartsCleanly) {
+  GmskParams p;
+  GmskModulator mod(p);
+  const auto bits = random_bits(64, 7);
+  const auto a = mod.modulate(bits);
+  mod.reset();
+  const auto b = mod.modulate(bits);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-12);
+  }
+}
+
+class GmskBtSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GmskBtSweep, RoundTripAcrossBtProducts) {
+  GmskParams p;
+  p.bt = GetParam();
+  GmskModulator mod(p);
+  const auto bits = random_bits(300, 8);
+  const auto wave = mod.modulate(bits);
+  GmskDemodulator demod(p);
+  const auto out = demod.demodulate(wave, 0, bits.size());
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) errors += out[i] != bits[i];
+  EXPECT_LT(static_cast<double>(errors) / out.size(), 0.02)
+      << "BT " << p.bt;
+}
+
+INSTANTIATE_TEST_SUITE_P(BtProducts, GmskBtSweep,
+                         ::testing::Values(0.3, 0.5, 0.7, 1.0));
+
+}  // namespace
+}  // namespace hs::phy

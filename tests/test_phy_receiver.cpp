@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "dsp/rng.hpp"
+#include "dsp/units.hpp"
+#include "phy/receiver.hpp"
+
+namespace hs::phy {
+namespace {
+
+Frame test_frame(std::uint8_t seq = 1, std::size_t payload = 8) {
+  Frame f;
+  f.device_id = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  f.type = 0x01;
+  f.seq = seq;
+  f.payload.assign(payload, 0x5A);
+  return f;
+}
+
+/// Builds noise + frame(s) at given offsets and amplitudes.
+dsp::Samples make_air(const FskParams& fsk, std::size_t total,
+                      std::initializer_list<std::pair<std::size_t, Frame>>
+                          frames,
+                      double amplitude, double noise_power,
+                      std::uint64_t seed = 1) {
+  dsp::Rng rng(seed);
+  dsp::Samples air(total);
+  rng.fill_awgn(air, noise_power);
+  for (const auto& [offset, frame] : frames) {
+    const auto wave = fsk_modulate(fsk, encode_frame(frame));
+    for (std::size_t i = 0; i < wave.size() && offset + i < total; ++i) {
+      air[offset + i] += amplitude * wave[i];
+    }
+  }
+  return air;
+}
+
+TEST(Receiver, DecodesFrameInNoise) {
+  FskParams fsk;
+  const auto air = make_air(fsk, 10000, {{2000, test_frame()}},
+                            dsp::db_to_amplitude(-40), dsp::dbm_to_mw(-112));
+  FskReceiver rx(fsk);
+  rx.push(air);
+  auto frame = rx.pop();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->decode.status, DecodeStatus::kOk);
+  EXPECT_EQ(frame->start_sample, 2000u);
+  EXPECT_EQ(frame->decode.frame.seq, 1);
+  EXPECT_FALSE(rx.pop().has_value());
+}
+
+TEST(Receiver, RssiMatchesSignalPower) {
+  FskParams fsk;
+  const double amp = dsp::db_to_amplitude(-30);  // power -30 dB
+  const auto air = make_air(fsk, 9000, {{1500, test_frame()}}, amp, 1e-12);
+  FskReceiver rx(fsk);
+  rx.push(air);
+  auto frame = rx.pop();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_NEAR(dsp::power_to_db(frame->rssi), -30.0, 1.0);
+}
+
+class ReceiverOffsetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ReceiverOffsetSweep, LocksAtArbitrarySampleOffsets) {
+  FskParams fsk;
+  const std::size_t offset = 3000 + GetParam();
+  const auto air = make_air(fsk, 12000, {{offset, test_frame()}},
+                            dsp::db_to_amplitude(-35), dsp::dbm_to_mw(-110),
+                            GetParam() + 7);
+  FskReceiver rx(fsk);
+  rx.push(air);
+  auto frame = rx.pop();
+  ASSERT_TRUE(frame.has_value()) << "offset " << offset;
+  EXPECT_EQ(frame->decode.status, DecodeStatus::kOk);
+  EXPECT_EQ(frame->start_sample, offset);
+}
+
+INSTANTIATE_TEST_SUITE_P(SubSymbolOffsets, ReceiverOffsetSweep,
+                         ::testing::Values(0, 1, 3, 5, 7, 11, 12, 13, 17, 23));
+
+TEST(Receiver, BlockwisePushMatchesOneShot) {
+  FskParams fsk;
+  const auto air = make_air(fsk, 10000, {{2500, test_frame()}},
+                            dsp::db_to_amplitude(-40), dsp::dbm_to_mw(-112));
+  FskReceiver one(fsk);
+  one.push(air);
+  const auto a = one.pop();
+  FskReceiver two(fsk);
+  for (std::size_t i = 0; i < air.size(); i += 48) {
+    const std::size_t n = std::min<std::size_t>(48, air.size() - i);
+    two.push(dsp::SampleView(air.data() + i, n));
+  }
+  const auto b = two.pop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->start_sample, b->start_sample);
+  EXPECT_EQ(a->raw_bits, b->raw_bits);
+}
+
+TEST(Receiver, BackToBackFramesBothDecoded) {
+  FskParams fsk;
+  const std::size_t len = encode_frame(test_frame()).size() * fsk.sps;
+  const auto air = make_air(
+      fsk, 30000,
+      {{2000, test_frame(1)}, {2000 + len + 600, test_frame(2)}},
+      dsp::db_to_amplitude(-40), dsp::dbm_to_mw(-112));
+  FskReceiver rx(fsk);
+  rx.push(air);
+  auto f1 = rx.pop();
+  auto f2 = rx.pop();
+  ASSERT_TRUE(f1.has_value());
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f1->decode.frame.seq, 1);
+  EXPECT_EQ(f2->decode.frame.seq, 2);
+}
+
+TEST(Receiver, SignalBelowMinGateIgnored) {
+  FskParams fsk;
+  ReceiverOptions opt;
+  opt.min_gate_power = dsp::dbm_to_mw(-90);  // IMD-style sensitivity
+  const auto air = make_air(fsk, 12000, {{2000, test_frame()}},
+                            dsp::db_to_amplitude(-100),  // -100 dBm power
+                            dsp::dbm_to_mw(-112));
+  FskReceiver rx(fsk, opt);
+  rx.push(air);
+  EXPECT_FALSE(rx.pop().has_value());
+}
+
+TEST(Receiver, SignalAboveMinGateAccepted) {
+  FskParams fsk;
+  ReceiverOptions opt;
+  opt.min_gate_power = dsp::dbm_to_mw(-90);
+  const auto air = make_air(fsk, 12000, {{2000, test_frame()}},
+                            dsp::db_to_amplitude(-85),  // -85 dBm power
+                            dsp::dbm_to_mw(-112));
+  FskReceiver rx(fsk, opt);
+  rx.push(air);
+  EXPECT_TRUE(rx.pop().has_value());
+}
+
+TEST(Receiver, DetectsFrameOverSustainedInterferenceFloor) {
+  // Regression for the shield's jamming-residual scenario: a steady
+  // interference floor precedes the frame; the adaptive gate must re-arm
+  // and the alias-escape must find the true preamble peak.
+  FskParams fsk;
+  dsp::Rng rng(21);
+  dsp::Samples air(30000);
+  rng.fill_awgn(air, dsp::dbm_to_mw(-78));  // jamming-residual-like floor
+  const auto wave = fsk_modulate(fsk, encode_frame(test_frame()));
+  const double amp = dsp::db_to_amplitude(-36.0 / 2.0 * 2.0 / 2.0);
+  (void)amp;
+  const double amplitude = dsp::db_to_amplitude(-18.0);  // -36 dBm power
+  const std::size_t offset = 17011;  // deliberately not symbol-aligned
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    air[offset + i] += amplitude * wave[i];
+  }
+  FskReceiver rx(fsk);
+  for (std::size_t i = 0; i < air.size(); i += 48) {
+    const std::size_t n = std::min<std::size_t>(48, air.size() - i);
+    rx.push(dsp::SampleView(air.data() + i, n));
+  }
+  auto frame = rx.pop();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->decode.status, DecodeStatus::kOk);
+  EXPECT_EQ(frame->start_sample, offset);
+}
+
+TEST(Receiver, CorruptedPayloadReportsBadCrc) {
+  FskParams fsk;
+  auto air = make_air(fsk, 12000, {{2000, test_frame(1, 16)}},
+                      dsp::db_to_amplitude(-40), dsp::dbm_to_mw(-112));
+  // Obliterate a chunk of payload samples with strong noise.
+  dsp::Rng rng(5);
+  const std::size_t hit = 2000 + 170 * fsk.sps;
+  for (std::size_t i = hit; i < hit + 6 * fsk.sps; ++i) {
+    air[i] += rng.cgaussian(dsp::dbm_to_mw(-30));  // 10 dB over the signal
+  }
+  FskReceiver rx(fsk);
+  rx.push(air);
+  auto frame = rx.pop();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->decode.status, DecodeStatus::kBadCrc);
+}
+
+TEST(Receiver, ResetDropsPartialState) {
+  FskParams fsk;
+  const auto air = make_air(fsk, 8000, {{2000, test_frame()}},
+                            dsp::db_to_amplitude(-40), dsp::dbm_to_mw(-112));
+  FskReceiver rx(fsk);
+  // Push only through the middle of the frame, then reset.
+  rx.push(dsp::SampleView(air.data(), 3500));
+  EXPECT_TRUE(rx.locked());
+  rx.reset();
+  EXPECT_FALSE(rx.locked());
+  EXPECT_TRUE(rx.partial_bits().empty());
+  // The remaining half-frame alone must not decode.
+  rx.push(dsp::SampleView(air.data() + 3500, air.size() - 3500));
+  auto frame = rx.pop();
+  EXPECT_TRUE(!frame.has_value() ||
+              frame->decode.status != DecodeStatus::kOk);
+}
+
+TEST(Receiver, SamplePositionTracksPushes) {
+  FskParams fsk;
+  FskReceiver rx(fsk);
+  dsp::Samples block(48, dsp::cplx{});
+  for (int i = 0; i < 10; ++i) rx.push(block);
+  EXPECT_EQ(rx.sample_position(), 480u);
+}
+
+TEST(Receiver, PureNoiseNeverLocksLong) {
+  FskParams fsk;
+  dsp::Rng rng(6);
+  dsp::Samples air(60000);
+  rng.fill_awgn(air, dsp::dbm_to_mw(-100));
+  FskReceiver rx(fsk);
+  rx.push(air);
+  EXPECT_FALSE(rx.pop().has_value());
+}
+
+}  // namespace
+}  // namespace hs::phy

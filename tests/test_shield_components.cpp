@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "dsp/fft.hpp"
+#include "dsp/power.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/units.hpp"
+#include "phy/frame.hpp"
+#include "shield/antidote.hpp"
+#include "shield/jamgen.hpp"
+#include "shield/relay.hpp"
+#include "shield/sid_matcher.hpp"
+
+namespace hs::shield {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Jamming signal generator
+// ---------------------------------------------------------------------------
+
+TEST(JamGen, PowerAccuracy) {
+  phy::FskParams fsk;
+  JammingSignalGenerator gen(fsk, JamProfile::kShaped, 1);
+  for (double target : {1e-6, 1e-3, 0.025, 1.0}) {
+    gen.set_power(target);
+    const auto block = gen.next(1 << 15);
+    EXPECT_NEAR(dsp::mean_power(block), target, 0.05 * target);
+  }
+}
+
+TEST(JamGen, ShapedConcentratesPowerAtTones) {
+  phy::FskParams fsk;
+  JammingSignalGenerator shaped(fsk, JamProfile::kShaped, 2);
+  JammingSignalGenerator constant(fsk, JamProfile::kConstant, 2);
+  shaped.set_power(1.0);
+  constant.set_power(1.0);
+  auto tone_fraction = [&](JammingSignalGenerator& gen) {
+    const auto wave = gen.next(1 << 15);
+    const double tones = dsp::band_power(wave, fsk.fs, 35e3, 65e3) +
+                         dsp::band_power(wave, fsk.fs, -65e3, -35e3);
+    const double total = dsp::band_power(wave, fsk.fs, -150e3, 150e3);
+    return tones / total;
+  };
+  EXPECT_GT(tone_fraction(shaped), 0.75);
+  EXPECT_LT(tone_fraction(constant), 0.3);
+}
+
+TEST(JamGen, SignalIsRandomNotRepeating) {
+  phy::FskParams fsk;
+  JammingSignalGenerator gen(fsk, JamProfile::kShaped, 3);
+  gen.set_power(1.0);
+  const auto a = gen.next(256);
+  const auto b = gen.next(256);
+  double corr = 0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    corr += (a[i] * std::conj(b[i])).real();
+  }
+  EXPECT_LT(std::abs(corr) / 256.0, 0.2);
+}
+
+TEST(JamGen, DifferentSeedsDifferentNoise) {
+  phy::FskParams fsk;
+  JammingSignalGenerator g1(fsk, JamProfile::kShaped, 4);
+  JammingSignalGenerator g2(fsk, JamProfile::kShaped, 5);
+  g1.set_power(1.0);
+  g2.set_power(1.0);
+  const auto a = g1.next(64);
+  const auto b = g2.next(64);
+  bool different = false;
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (std::abs(a[i] - b[i]) > 1e-12) different = true;
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(JamGen, ProfileSwitchTakesEffect) {
+  phy::FskParams fsk;
+  JammingSignalGenerator gen(fsk, JamProfile::kShaped, 6);
+  gen.set_power(1.0);
+  EXPECT_EQ(gen.profile(), JamProfile::kShaped);
+  gen.set_profile(JamProfile::kConstant);
+  EXPECT_EQ(gen.profile(), JamProfile::kConstant);
+  for (double w : gen.bin_weights()) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(JamGen, FftSizeMustBePowerOfTwo) {
+  phy::FskParams fsk;
+  EXPECT_THROW(JammingSignalGenerator(fsk, JamProfile::kShaped, 1, 100),
+               std::invalid_argument);
+}
+
+TEST(JamGen, ArbitraryBlockSizesStream) {
+  phy::FskParams fsk;
+  JammingSignalGenerator gen(fsk, JamProfile::kShaped, 7);
+  gen.set_power(1.0);
+  std::size_t total = 0;
+  for (std::size_t n : {1u, 7u, 48u, 255u, 256u, 257u, 1000u}) {
+    EXPECT_EQ(gen.next(n).size(), n);
+    total += n;
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(JamGen, FskProfileIsSymmetricAndUnitMean) {
+  phy::FskParams fsk;
+  const auto profile = fsk_power_profile(fsk, 256);
+  double mean = 0;
+  for (double p : profile) mean += p;
+  mean /= 256.0;
+  EXPECT_NEAR(mean, 1.0, 1e-9);
+  // Energy at the +-50 kHz bins dominates the mid-band.
+  const std::size_t bin_pos = dsp::frequency_bin(50e3, 256, fsk.fs);
+  const std::size_t bin_dc = dsp::frequency_bin(0.0, 256, fsk.fs);
+  EXPECT_GT(profile[bin_pos], 5.0 * profile[bin_dc]);
+}
+
+// ---------------------------------------------------------------------------
+// Antidote controller
+// ---------------------------------------------------------------------------
+
+TEST(Antidote, IdealCoefficientMatchesChannels) {
+  AntidoteController controller(0.0, 1);
+  const dsp::cplx hjr(0.02, 0.01);
+  const dsp::cplx hself(0.7, -0.1);
+  controller.update_jam_channel(hjr);
+  controller.update_self_channel(hself);
+  ASSERT_TRUE(controller.ready());
+  const auto coeff = controller.ideal_coefficient();
+  EXPECT_NEAR(std::abs(coeff + hjr / hself), 0.0, 1e-15);
+  // With zero hardware error the applied coefficient is ideal.
+  EXPECT_NEAR(std::abs(controller.antidote_coefficient() - coeff), 0.0,
+              1e-15);
+}
+
+TEST(Antidote, NotReadyUntilBothChannels) {
+  AntidoteController controller(0.025, 2);
+  EXPECT_FALSE(controller.ready());
+  EXPECT_THROW(controller.ideal_coefficient(), std::logic_error);
+  controller.update_jam_channel({0.01, 0.0});
+  EXPECT_FALSE(controller.ready());
+  controller.update_self_channel({0.7, 0.0});
+  EXPECT_TRUE(controller.ready());
+  controller.reset();
+  EXPECT_FALSE(controller.ready());
+}
+
+TEST(Antidote, HardwareErrorBoundsCancellation) {
+  // With error sigma, residual |eps| makes cancellation ~ -20 log10|eps|;
+  // the average over epochs should sit near -20log10(sigma) ~ 32 dB for
+  // sigma = 0.025.
+  AntidoteController controller(0.025, 3);
+  controller.update_jam_channel({0.02, 0.0});
+  controller.update_self_channel({0.7, 0.0});
+  double sum_db = 0;
+  const int epochs = 400;
+  for (int i = 0; i < epochs; ++i) {
+    controller.begin_epoch();
+    const auto applied = controller.antidote_coefficient();
+    const auto ideal = controller.ideal_coefficient();
+    const double residual = std::abs(applied - ideal) / std::abs(ideal);
+    sum_db += -20.0 * std::log10(residual);
+  }
+  EXPECT_NEAR(sum_db / epochs, 32.0, 3.0);
+}
+
+TEST(Antidote, EpochRedrawChangesCoefficient) {
+  AntidoteController controller(0.05, 4);
+  controller.update_jam_channel({0.02, 0.0});
+  controller.update_self_channel({0.7, 0.0});
+  const auto first = controller.antidote_coefficient();
+  controller.begin_epoch();
+  EXPECT_GT(std::abs(controller.antidote_coefficient() - first), 0.0);
+}
+
+TEST(Antidote, ProbeWaveformDeterministicUnitPower) {
+  const auto a = make_probe_waveform(96, 9);
+  const auto b = make_probe_waveform(96, 9);
+  ASSERT_EQ(a.size(), 96u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_NEAR(std::abs(a[i]), 1.0, 1e-12);
+  }
+  const auto c = make_probe_waveform(96, 10);
+  bool different = false;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (std::abs(a[i] - c[i]) > 1e-12) different = true;
+  }
+  EXPECT_TRUE(different);
+}
+
+// ---------------------------------------------------------------------------
+// S_id matcher
+// ---------------------------------------------------------------------------
+
+phy::BitVec sid_for_tests() {
+  phy::DeviceId id = {'V', 'I', 'R', '2', '0', '1', '1', '0', '0', '7'};
+  return phy::make_sid(id);
+}
+
+TEST(SidMatcher, ExactSequenceFires) {
+  SidMatcher matcher(sid_for_tests(), 4);
+  EXPECT_TRUE(matcher.push(phy::BitView(sid_for_tests())));
+  EXPECT_TRUE(matcher.fired());
+}
+
+TEST(SidMatcher, FiresMidStream) {
+  SidMatcher matcher(sid_for_tests(), 4);
+  phy::BitVec stream = {1, 0, 0, 1, 1, 0};  // unrelated prefix
+  const auto sid = sid_for_tests();
+  stream.insert(stream.end(), sid.begin(), sid.end());
+  EXPECT_TRUE(matcher.push(phy::BitView(stream)));
+}
+
+TEST(SidMatcher, ToleratesUpToBthreshFlips) {
+  auto sid = sid_for_tests();
+  sid[3] ^= 1;
+  sid[40] ^= 1;
+  sid[77] ^= 1;
+  sid[100] ^= 1;  // exactly 4 flips
+  SidMatcher matcher(sid_for_tests(), 4);
+  EXPECT_TRUE(matcher.push(phy::BitView(sid)));
+}
+
+TEST(SidMatcher, RejectsBeyondBthresh) {
+  auto sid = sid_for_tests();
+  for (std::size_t i = 0; i < 5; ++i) sid[10 + 13 * i] ^= 1;  // 5 flips
+  SidMatcher matcher(sid_for_tests(), 4);
+  EXPECT_FALSE(matcher.push(phy::BitView(sid)));
+  EXPECT_FALSE(matcher.fired());
+}
+
+TEST(SidMatcher, ExactSuffixEnforced) {
+  phy::BitVec sid = sid_for_tests();
+  sid.push_back(0);  // direction bit: command
+  SidMatcher matcher(sid, 4, /*exact_suffix_bits=*/1);
+  // A reply (direction bit 1) must not fire even though 1 flip < b_thresh.
+  phy::BitVec reply = sid;
+  reply.back() = 1;
+  EXPECT_FALSE(matcher.push(phy::BitView(reply)));
+  matcher.reset();
+  EXPECT_TRUE(matcher.push(phy::BitView(sid)));
+}
+
+TEST(SidMatcher, FiresOncePerReset) {
+  const auto sid = sid_for_tests();
+  SidMatcher matcher(sid, 4);
+  EXPECT_TRUE(matcher.push(phy::BitView(sid)));
+  EXPECT_FALSE(matcher.push(phy::BitView(sid)));  // already fired
+  matcher.reset();
+  EXPECT_TRUE(matcher.push(phy::BitView(sid)));
+}
+
+TEST(SidMatcher, BestDistanceScansWindows) {
+  const auto sid = sid_for_tests();
+  SidMatcher matcher(sid, 4);
+  phy::BitVec stream(20, 0);
+  auto noisy = sid;
+  noisy[5] ^= 1;
+  stream.insert(stream.end(), noisy.begin(), noisy.end());
+  EXPECT_EQ(matcher.best_distance(phy::BitView(stream)), 1u);
+  EXPECT_TRUE(matcher.matches_anywhere(phy::BitView(stream)));
+  phy::BitVec random(sid.size(), 0);
+  EXPECT_GT(matcher.best_distance(phy::BitView(random)), 4u);
+  phy::BitVec tiny(4, 0);
+  EXPECT_EQ(matcher.best_distance(phy::BitView(tiny)),
+            std::numeric_limits<std::size_t>::max());
+}
+
+TEST(SidMatcher, RejectsDegenerateConstruction) {
+  EXPECT_THROW(SidMatcher(phy::BitVec{}, 4), std::invalid_argument);
+  EXPECT_THROW(SidMatcher(phy::BitVec{1, 0}, 0, 3), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Relay serialization
+// ---------------------------------------------------------------------------
+
+TEST(RelaySerialization, RoundTrip) {
+  phy::Frame f;
+  f.device_id = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  f.type = 0x03;
+  f.seq = 99;
+  f.payload = {10, 20, 30};
+  const auto bytes = serialize_relay_frame(f);
+  const auto out = deserialize_relay_frame(
+      phy::ByteView(bytes.data(), bytes.size()), f.device_id);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->type, f.type);
+  EXPECT_EQ(out->seq, f.seq);
+  EXPECT_EQ(out->payload, f.payload);
+  EXPECT_EQ(out->device_id, f.device_id);
+}
+
+TEST(RelaySerialization, MalformedRejected) {
+  phy::DeviceId id{};
+  const phy::ByteVec too_short = {1};
+  EXPECT_FALSE(deserialize_relay_frame(
+                   phy::ByteView(too_short.data(), too_short.size()), id)
+                   .has_value());
+  const phy::ByteVec wrong_len = {1, 2, 5, 0xAA};  // claims 5, has 1
+  EXPECT_FALSE(deserialize_relay_frame(
+                   phy::ByteView(wrong_len.data(), wrong_len.size()), id)
+                   .has_value());
+  phy::ByteVec huge = {1, 2, 45};
+  huge.resize(3 + 45, 0);  // payload larger than the air format allows
+  EXPECT_FALSE(deserialize_relay_frame(
+                   phy::ByteView(huge.data(), huge.size()), id)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace hs::shield

@@ -1,0 +1,328 @@
+// Behavioural tests of the shield node on a live medium: probing, passive
+// jamming, active protection, anti-capture, alarms, and jam-power policy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "adversary/active.hpp"
+#include "adversary/cross_traffic.hpp"
+#include "adversary/eavesdropper.hpp"
+#include "adversary/monitor.hpp"
+#include "channel/geometry.hpp"
+#include "dsp/units.hpp"
+#include "imd/protocol.hpp"
+#include "shield/calibrate.hpp"
+#include "shield/deployment.hpp"
+
+namespace hs::shield {
+namespace {
+
+using imd::make_interrogate;
+using imd::make_set_therapy;
+
+TEST(ShieldNode, ProbesPeriodically) {
+  DeploymentOptions opt;
+  opt.seed = 3;
+  Deployment d(opt);
+  const auto before = d.shield().stats().probes;
+  d.run_for(0.65);  // > 3 probe intervals of 200 ms
+  const auto probes = d.shield().stats().probes - before;
+  EXPECT_GE(probes, 3u);
+  EXPECT_LE(probes, 5u);
+}
+
+TEST(ShieldNode, AntidoteReadyAfterWarmup) {
+  DeploymentOptions opt;
+  opt.seed = 4;
+  Deployment d(opt);
+  EXPECT_TRUE(d.shield().antidote_ready());
+  // The estimated self-loop channel magnitude matches the configured wire
+  // coupling within estimation error.
+  const double est_db =
+      -20.0 * std::log10(std::abs(d.shield().antidote().self_channel()));
+  EXPECT_NEAR(est_db, opt.shield_config.self_coupling_db, 1.0);
+}
+
+TEST(ShieldNode, CancellationDisabledWithoutAntidote) {
+  DeploymentOptions opt;
+  opt.seed = 5;
+  Deployment d(opt);
+  ShieldNode& shield = d.shield();
+  shield.set_manual_jam(true);
+  shield.set_antidote_enabled(false);
+  d.run_for(2e-3);
+  double p_off = 0;
+  for (int i = 0; i < 32; ++i) {
+    d.timeline().step();
+    p_off += d.medium().rx_power(shield.rx_antenna());
+  }
+  shield.set_antidote_enabled(true);
+  d.run_for(1e-3);
+  double p_on = 0;
+  for (int i = 0; i < 32; ++i) {
+    d.timeline().step();
+    p_on += d.medium().rx_power(shield.rx_antenna());
+  }
+  shield.set_manual_jam(false);
+  EXPECT_GT(dsp::power_to_db(p_off / p_on), 15.0);
+}
+
+TEST(ShieldNode, JamPowerTracksImdRssiPlusMargin) {
+  DeploymentOptions opt;
+  opt.seed = 6;
+  Deployment d(opt);
+  // Before any measurement: prior RSSI (-36 dBm) + 20 dB, clamped to FCC.
+  EXPECT_NEAR(d.shield().jam_power_dbm(), -16.0, 1e-9);
+  d.shield().relay_command(make_interrogate(opt.imd_profile.serial, 1));
+  d.run_for(60e-3);
+  ASSERT_EQ(d.shield().stats().replies_decoded, 1u);
+  // Measured RSSI: IMD tx -16 dBm, through the body (-20 dB) and the
+  // necklace's outward-facing directivity (-3 dB) => about -39 dBm.
+  EXPECT_NEAR(d.shield().measured_imd_rssi_dbm(), -39.0, 4.0);
+  // Operating point: measured RSSI + 20 dB margin, clamped at the FCC
+  // limit.
+  EXPECT_NEAR(d.shield().jam_power_dbm(),
+              std::min(-16.0, d.shield().measured_imd_rssi_dbm() + 20.0),
+              1e-9);
+  // A margin override below the clamp moves the operating point.
+  d.shield().set_jam_power_override(-30.0);
+  EXPECT_NEAR(d.shield().jam_power_dbm(), -30.0, 1e-9);
+}
+
+TEST(ShieldNode, ActiveProtectionJamsForgedCommand) {
+  DeploymentOptions opt;
+  opt.seed = 7;
+  Deployment d(opt);
+  adversary::ActiveAdversaryConfig acfg;
+  acfg.position = channel::testbed_location(2).position();
+  acfg.fsk = opt.imd_profile.fsk;
+  adversary::ActiveAdversaryNode adversary(acfg, d.medium(), &d.log());
+  d.add_node(&adversary);
+  d.run_for(2e-3);
+
+  adversary.inject(make_interrogate(opt.imd_profile.serial, 1));
+  d.run_for(45e-3);
+  EXPECT_GE(d.shield().stats().active_jams, 1u);
+  EXPECT_EQ(d.imd().stats().frames_accepted, 0u);
+  EXPECT_EQ(d.imd().stats().replies_sent, 0u);
+  // The IMD detected the frame start but the checksum failed under
+  // jamming (or sync was destroyed entirely).
+  EXPECT_LE(d.imd().stats().crc_failures, 1u);
+}
+
+TEST(ShieldNode, TherapyUnchangedUnderAttack) {
+  DeploymentOptions opt;
+  opt.seed = 8;
+  Deployment d(opt);
+  adversary::ActiveAdversaryConfig acfg;
+  acfg.position = channel::testbed_location(1).position();
+  acfg.fsk = opt.imd_profile.fsk;
+  adversary::ActiveAdversaryNode adversary(acfg, d.medium(), &d.log());
+  d.add_node(&adversary);
+  d.run_for(2e-3);
+
+  const auto before = d.imd().therapy();
+  imd::TherapySettings tampered;
+  tampered.pacing_rate_bpm = 40;
+  adversary.inject(make_set_therapy(opt.imd_profile.serial, 1, tampered));
+  d.run_for(45e-3);
+  EXPECT_EQ(d.imd().therapy(), before);
+  EXPECT_EQ(d.imd().stats().therapy_changes, 0u);
+}
+
+TEST(ShieldNode, NoJammingOfOtherDevicesTraffic) {
+  DeploymentOptions opt;
+  opt.seed = 9;
+  Deployment d(opt);
+  adversary::ActiveAdversaryConfig acfg;
+  acfg.position = {3.0, 0.0};
+  acfg.fsk = opt.imd_profile.fsk;
+  adversary::ActiveAdversaryNode sender(acfg, d.medium(), &d.log());
+  d.add_node(&sender);
+  d.run_for(2e-3);
+
+  // A frame addressed to a DIFFERENT device id. The serials must differ
+  // by more than b_thresh = 4 bits, or the matcher would (correctly, per
+  // the paper's tolerance) treat it as targeting the protected IMD.
+  phy::DeviceId other = opt.imd_profile.serial;
+  other[0] ^= 0xFF;
+  other[5] ^= 0xFF;
+  other[9] ^= 0xFF;
+  sender.inject(make_interrogate(other, 1));
+  d.run_for(45e-3);
+  EXPECT_EQ(d.shield().stats().active_jams, 0u);
+  EXPECT_GE(d.shield().stats().cross_traffic_ignored, 1u);
+}
+
+TEST(ShieldNode, NoJammingOfGmskCrossTraffic) {
+  DeploymentOptions opt;
+  opt.seed = 10;
+  Deployment d(opt);
+  adversary::CrossTrafficConfig ccfg;
+  ccfg.position = {2.0, 0.0};
+  adversary::CrossTrafficNode radiosonde(ccfg, d.medium(), 10);
+  d.add_node(&radiosonde);
+  d.run_for(2e-3);
+  radiosonde.send_frame(d.timeline().sample_position() + 96);
+  d.run_for(45e-3);
+  EXPECT_EQ(d.shield().stats().active_jams, 0u);
+}
+
+TEST(ShieldNode, AlarmOnHighPowerNotOnFccPower) {
+  for (const double extra : {0.0, 20.0}) {
+    DeploymentOptions opt;
+    opt.seed = 11;
+    Deployment d(opt);
+    adversary::ActiveAdversaryConfig acfg;
+    acfg.position = channel::testbed_location(1).position();
+    acfg.fsk = opt.imd_profile.fsk;
+    acfg.tx_power_dbm = -16.0 + extra;
+    adversary::ActiveAdversaryNode adversary(acfg, d.medium(), &d.log());
+    d.add_node(&adversary);
+    d.run_for(2e-3);
+    adversary.inject(make_interrogate(opt.imd_profile.serial, 1));
+    d.run_for(45e-3);
+    if (extra > 0.0) {
+      EXPECT_GE(d.shield().stats().alarms, 1u) << "high power";
+    } else {
+      EXPECT_EQ(d.shield().stats().alarms, 0u) << "FCC power";
+    }
+  }
+}
+
+TEST(ShieldNode, SuccessImpliesAlarmForHighPowerAdversary) {
+  // The paper's key safety property (section 10.3): whenever the
+  // high-powered adversary elicits a response in the shield's presence,
+  // the shield raises an alarm.
+  DeploymentOptions opt;
+  opt.seed = 12;
+  opt.with_observer = true;
+  opt.shield_config.enable_passive_jamming = false;
+  Deployment d(opt);
+  adversary::ActiveAdversaryConfig acfg;
+  acfg.position = channel::testbed_location(1).position();
+  acfg.fsk = opt.imd_profile.fsk;
+  acfg.tx_power_dbm = 4.0;  // 100x
+  adversary::ActiveAdversaryNode adversary(acfg, d.medium(), &d.log());
+  d.add_node(&adversary);
+  d.run_for(2e-3);
+  for (int i = 0; i < 10; ++i) {
+    const auto replies = d.imd().stats().replies_sent;
+    const auto alarms = d.shield().stats().alarms;
+    adversary.inject(make_interrogate(opt.imd_profile.serial,
+                                      static_cast<std::uint8_t>(i)));
+    d.run_for(45e-3);
+    if (d.imd().stats().replies_sent > replies) {
+      EXPECT_GT(d.shield().stats().alarms, alarms)
+          << "success without alarm at trial " << i;
+    }
+  }
+}
+
+TEST(ShieldNode, AbortsOwnTxWhenOverpowered) {
+  // Anti-capture defense (section 7): if someone transmits over the
+  // shield's own relayed command, the shield switches from transmission
+  // to jamming.
+  DeploymentOptions opt;
+  opt.seed = 13;
+  Deployment d(opt);
+  adversary::ActiveAdversaryConfig acfg;
+  acfg.position = channel::testbed_location(1).position();
+  acfg.fsk = opt.imd_profile.fsk;
+  acfg.tx_power_dbm = 10.0;  // strong enough to exceed the self-residual
+  adversary::ActiveAdversaryNode adversary(acfg, d.medium(), &d.log());
+  d.add_node(&adversary);
+  d.run_for(2e-3);
+
+  d.shield().relay_command(make_interrogate(opt.imd_profile.serial, 1));
+  d.run_for(2e-3);  // our command is now on the air
+  adversary.inject(make_interrogate(opt.imd_profile.serial, 9));
+  d.run_for(45e-3);
+  EXPECT_GE(d.shield().stats().aborted_tx, 1u);
+  EXPECT_GE(d.shield().stats().active_jams, 1u);
+  // The capture attempt must not have delivered the adversary's command.
+  EXPECT_EQ(d.imd().stats().frames_accepted, 0u);
+}
+
+TEST(ShieldNode, PassiveJamDeniesNearbyEavesdropper) {
+  DeploymentOptions opt;
+  opt.seed = 14;
+  Deployment d(opt);
+  adversary::MonitorConfig ecfg;
+  ecfg.name = "eavesdropper";
+  ecfg.position = channel::testbed_location(1).position();
+  ecfg.fsk = opt.imd_profile.fsk;
+  ecfg.capture_samples = true;
+  adversary::MonitorNode eavesdropper(ecfg, d.medium());
+  d.add_node(&eavesdropper);
+  d.run_for(2e-3);
+
+  double ber_sum = 0;
+  int packets = 0;
+  for (int i = 0; i < 5; ++i) {
+    eavesdropper.clear_capture();
+    d.shield().relay_command(make_interrogate(opt.imd_profile.serial,
+                                              static_cast<std::uint8_t>(i)));
+    d.run_for(45e-3);
+    const auto& truth = d.imd().last_tx_bits();
+    if (truth.empty()) continue;
+    const std::size_t offset =
+        d.imd().last_tx_start_sample() - eavesdropper.capture_start();
+    const auto result = adversary::eavesdrop_decode(
+        opt.imd_profile.fsk, eavesdropper.capture(), offset,
+        phy::BitView(truth.data(), truth.size()));
+    ber_sum += result.ber;
+    ++packets;
+  }
+  ASSERT_GT(packets, 0);
+  EXPECT_GT(ber_sum / packets, 0.40);
+  // ...while the shield decoded every packet through its own jamming.
+  EXPECT_EQ(d.shield().stats().replies_decoded,
+            static_cast<std::size_t>(packets));
+}
+
+TEST(ShieldNode, DisabledPassiveJammingLeaksToEavesdropper) {
+  // Control experiment for the one above: without jamming, the nearby
+  // eavesdropper decodes the IMD perfectly. Confidentiality comes from
+  // the jamming, not from the simulation setup.
+  DeploymentOptions opt;
+  opt.seed = 15;
+  opt.shield_config.enable_passive_jamming = false;
+  Deployment d(opt);
+  adversary::MonitorConfig ecfg;
+  ecfg.position = channel::testbed_location(1).position();
+  ecfg.fsk = opt.imd_profile.fsk;
+  ecfg.capture_samples = true;
+  adversary::MonitorNode eavesdropper(ecfg, d.medium());
+  d.add_node(&eavesdropper);
+  d.run_for(2e-3);
+
+  d.shield().relay_command(make_interrogate(opt.imd_profile.serial, 1));
+  d.run_for(45e-3);
+  const auto& truth = d.imd().last_tx_bits();
+  ASSERT_FALSE(truth.empty());
+  const std::size_t offset =
+      d.imd().last_tx_start_sample() - eavesdropper.capture_start();
+  const auto result = adversary::eavesdrop_decode(
+      opt.imd_profile.fsk, eavesdropper.capture(), offset,
+      phy::BitView(truth.data(), truth.size()));
+  EXPECT_LT(result.ber, 0.01);
+}
+
+TEST(ShieldNode, MeasuredCancellationNear32Db) {
+  DeploymentOptions opt;
+  opt.seed = 16;
+  Deployment d(opt);
+  const auto samples = measure_cancellation_cdf(d, 40);
+  double mean = 0;
+  for (double g : samples) mean += g;
+  mean /= static_cast<double>(samples.size());
+  EXPECT_GT(mean, 28.0);
+  EXPECT_LT(mean, 38.0);
+  // Fig. 7's spread: roughly 20-48 dB across runs.
+  EXPECT_GT(samples.front(), 15.0);
+  EXPECT_LT(samples.back(), 60.0);
+}
+
+}  // namespace
+}  // namespace hs::shield

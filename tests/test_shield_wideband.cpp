@@ -1,0 +1,137 @@
+// Wideband (3 MHz) monitoring: the shield must spot S_id on ANY MICS
+// channel, defeating frequency-hopping and multi-channel adversaries
+// (paper section 7(c)).
+#include <gtest/gtest.h>
+
+#include "dsp/rng.hpp"
+#include "dsp/units.hpp"
+#include "imd/profiles.hpp"
+#include "imd/protocol.hpp"
+#include "shield/battery_life.hpp"
+#include "shield/wideband.hpp"
+
+namespace hs::shield {
+namespace {
+
+/// Builds a 3 MHz wideband stream containing an FSK command frame
+/// up-converted to MICS channel `channel`, plus thermal noise.
+dsp::Samples make_wideband_attack(const imd::ImdProfile& profile,
+                                  std::size_t channel,
+                                  const phy::DeviceId& target,
+                                  std::uint64_t seed,
+                                  std::size_t lead_baseband = 2400) {
+  const auto cmd = imd::make_interrogate(target, 1);
+  const auto wave =
+      phy::fsk_modulate(profile.fsk, phy::encode_frame(cmd));
+  dsp::Samples baseband(lead_baseband + wave.size() + 1200, dsp::cplx{});
+  const double amp = dsp::db_to_amplitude(-45.0);
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    baseband[lead_baseband + i] = amp * wave[i];
+  }
+  mics::ChannelSynthesizer synth;
+  dsp::Samples wideband(baseband.size() * mics::kDecimation, dsp::cplx{});
+  synth.process(channel, baseband, wideband);
+  dsp::Rng rng(seed);
+  for (auto& x : wideband) {
+    x += rng.cgaussian(dsp::dbm_to_mw(-112.0));
+  }
+  return wideband;
+}
+
+class WidebandChannelSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WidebandChannelSweep, DetectsSidOnEveryChannel) {
+  const std::size_t channel = GetParam();
+  const auto profile = imd::virtuoso_profile();
+  WidebandMonitor monitor(profile.serial, profile.fsk);
+  const auto wideband =
+      make_wideband_attack(profile, channel, profile.serial, channel + 1);
+  // Stream in 480-sample wideband blocks (one 48-sample channel block).
+  for (std::size_t i = 0; i < wideband.size(); i += 480) {
+    const std::size_t n = std::min<std::size_t>(480, wideband.size() - i);
+    monitor.push(dsp::SampleView(wideband.data() + i, n));
+  }
+  EXPECT_TRUE(monitor.channels()[channel].sid_matched)
+      << "channel " << channel;
+  EXPECT_EQ(monitor.jam_mask(), 1u << channel);
+  // No other channel flagged.
+  for (std::size_t c = 0; c < mics::kChannelCount; ++c) {
+    if (c != channel) {
+      EXPECT_FALSE(monitor.channels()[c].sid_matched) << "channel " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTenChannels, WidebandChannelSweep,
+                         ::testing::Range<std::size_t>(0, 10));
+
+TEST(Wideband, OtherDevicesCommandDoesNotMatch) {
+  const auto profile = imd::virtuoso_profile();
+  WidebandMonitor monitor(profile.serial, profile.fsk);
+  phy::DeviceId other = profile.serial;
+  other[0] ^= 0xFF;
+  other[4] ^= 0xFF;
+  const auto wideband = make_wideband_attack(profile, 4, other, 9);
+  monitor.push(wideband);
+  EXPECT_EQ(monitor.jam_mask(), 0u);
+  // The frame itself was still seen (receiver completed it).
+  EXPECT_GE(monitor.channels()[4].frames_seen, 1u);
+}
+
+TEST(Wideband, FrequencyHoppingAdversaryCaughtEveryHop) {
+  const auto profile = imd::virtuoso_profile();
+  WidebandMonitor monitor(profile.serial, profile.fsk);
+  for (std::size_t hop : {2u, 7u, 0u, 9u}) {
+    monitor.clear_matches();
+    const auto wideband =
+        make_wideband_attack(profile, hop, profile.serial, 40 + hop);
+    for (std::size_t i = 0; i < wideband.size(); i += 480) {
+      const std::size_t n = std::min<std::size_t>(480, wideband.size() - i);
+      monitor.push(dsp::SampleView(wideband.data() + i, n));
+    }
+    EXPECT_EQ(monitor.jam_mask(), 1u << hop) << "hop to channel " << hop;
+  }
+}
+
+TEST(Wideband, SimultaneousMultiChannelAttackFlagsBoth) {
+  const auto profile = imd::virtuoso_profile();
+  WidebandMonitor monitor(profile.serial, profile.fsk);
+  auto a = make_wideband_attack(profile, 1, profile.serial, 50);
+  const auto b = make_wideband_attack(profile, 8, profile.serial, 51);
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) a[i] += b[i];
+  a.resize(n);
+  monitor.push(a);
+  EXPECT_TRUE(monitor.channels()[1].sid_matched);
+  EXPECT_TRUE(monitor.channels()[8].sid_matched);
+  EXPECT_EQ(monitor.jam_mask(), (1u << 1) | (1u << 8));
+}
+
+TEST(Wideband, ClearMatchesRearms) {
+  const auto profile = imd::virtuoso_profile();
+  WidebandMonitor monitor(profile.serial, profile.fsk);
+  monitor.push(make_wideband_attack(profile, 3, profile.serial, 60));
+  ASSERT_TRUE(monitor.any_match());
+  monitor.clear_matches();
+  EXPECT_FALSE(monitor.any_match());
+  monitor.push(make_wideband_attack(profile, 3, profile.serial, 61));
+  EXPECT_TRUE(monitor.any_match());
+}
+
+TEST(BatteryLife, MatchesPapersDayOrLongerClaim) {
+  const ShieldPowerModel model;
+  const auto estimate = estimate_battery_life(model);
+  // Under continuous attack the shield still lasts "a day or longer".
+  EXPECT_GE(estimate.under_attack_hours, 17.0);
+  // Normal monitoring is dominated by the receive chain.
+  EXPECT_GT(estimate.monitoring_hours, 2.0 * estimate.under_attack_hours);
+  // More telemetry sessions per day cost battery.
+  const auto busy = estimate_battery_life(model, 3600.0);
+  EXPECT_LT(busy.monitoring_hours, estimate.monitoring_hours);
+  EXPECT_NEAR(estimate.idle_hours,
+              model.battery_mwh / (model.rx_chain_mw + model.baseline_mw),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace hs::shield
