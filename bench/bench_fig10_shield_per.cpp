@@ -1,9 +1,11 @@
-// Fig. 10: CDF of the shield's packet loss rate when decoding the IMD's
-// packets while jamming them. Paper: average ~0.2%.
+// Fig. 10: the shield's packet loss rate when decoding the IMD's packets
+// while jamming them. Paper: average ~0.2%.
+//
+// Runs as a campaign: each trial of the "fig10-shield-per" preset decodes
+// a 200-packet run; the engine parallelizes trials deterministically.
 #include <cstdio>
 
-#include "bench_util.hpp"
-#include "shield/experiments.hpp"
+#include "bench_campaign.hpp"
 
 using namespace hs;
 
@@ -12,26 +14,20 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 10 - shield packet loss while jamming",
                       "Gollakota et al., SIGCOMM 2011, Figure 10");
 
-  const std::size_t packets = args.trials_or(200);
-  const std::size_t runs = 12;
-  std::vector<double> losses;
-  std::size_t total = 0, decoded = 0;
-  for (std::size_t r = 0; r < runs; ++r) {
-    shield::EavesdropOptions opt;
-    opt.seed = args.seed + r;
-    opt.location_index = 1;
-    opt.packets = packets;
-    const auto result = shield::run_eavesdrop_experiment(opt);
-    losses.push_back(result.shield_packet_loss());
-    total += result.imd_packets;
-    decoded += result.shield_decoded;
-  }
-  bench::print_cdf(losses, "packet loss");
+  const auto result = bench::run_preset("fig10-shield-per", args);
+
+  const auto& loss =
+      result.points.front().stats(campaign::Metric::kShieldPacketLoss);
+  std::printf("  %-14s  per-run packet loss\n", "");
+  std::printf("  %-14s  mean    %.4f\n", "", loss.mean());
+  std::printf("  %-14s  stddev  %.4f\n", "", loss.stddev());
+  std::printf("  %-14s  min     %.4f\n", "", loss.min());
+  std::printf("  %-14s  max     %.4f\n", "", loss.max());
   std::printf(
-      "\n  overall: %zu/%zu IMD packets decoded through jamming "
-      "(loss %.4f)\n",
-      decoded, total,
-      1.0 - static_cast<double>(decoded) / static_cast<double>(total));
+      "\n  overall: mean per-run loss %.4f across %zu runs of up to %zu "
+      "IMD packets\n",
+      loss.mean(), loss.count(), result.scenario.units_per_trial);
   std::printf("  paper: average packet loss ~0.002.\n");
+  bench::print_campaign_footer(result);
   return 0;
 }

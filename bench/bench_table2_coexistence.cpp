@@ -2,10 +2,15 @@
 // must jam every packet addressed to its IMD, never jam radiosonde
 // cross-traffic, and release the medium quickly once an adversary stops
 // (turn-around time; paper: 270 +- 23 us in software).
+//
+// Runs as a campaign: the "table2-coexistence" preset sweeps the
+// adversary location axis; each trial plays one command + one cross
+// frame, and the engine merges Bernoulli jam indicators (with Wilson 95%
+// intervals) and turn-around samples across the worker pool.
 #include <cstdio>
 
-#include "bench_util.hpp"
-#include "shield/experiments.hpp"
+#include "bench_campaign.hpp"
+#include "campaign/stats.hpp"
 
 using namespace hs;
 
@@ -14,31 +19,33 @@ int main(int argc, char** argv) {
   bench::print_header("Table 2 - coexistence and turn-around time",
                       "Gollakota et al., SIGCOMM 2011, Table 2");
 
-  shield::CoexistenceOptions opt;
-  opt.seed = args.seed;
-  opt.rounds_per_location = args.trials_or(10);
-  const auto result = shield::run_coexistence_experiment(opt);
+  const auto result = bench::run_preset("table2-coexistence", args);
 
-  const double p_cross =
-      result.cross_frames_sent
-          ? static_cast<double>(result.cross_frames_jammed) /
-                static_cast<double>(result.cross_frames_sent)
-          : 0.0;
-  const double p_imd =
-      result.imd_commands_sent
-          ? static_cast<double>(result.imd_commands_jammed) /
-                static_cast<double>(result.imd_commands_sent)
-          : 0.0;
+  // Pool the per-location streams exactly as Table 2 aggregates them.
+  campaign::StreamingStats cross, imd, turnaround;
+  for (const auto& point : result.points) {
+    cross.merge(point.stats(campaign::Metric::kCrossTrafficJammed));
+    imd.merge(point.stats(campaign::Metric::kImdCommandJammed));
+    turnaround.merge(point.stats(campaign::Metric::kTurnaroundUs));
+  }
+
+  const auto w_cross = campaign::wilson_interval(cross);
+  const auto w_imd = campaign::wilson_interval(imd);
   std::printf("  probability of jamming:\n");
-  std::printf("    cross-traffic (radiosonde GMSK):  %.2f   (%zu/%zu)\n",
-              p_cross, result.cross_frames_jammed, result.cross_frames_sent);
-  std::printf("    packets that trigger the IMD:     %.2f   (%zu/%zu)\n",
-              p_imd, result.imd_commands_jammed, result.imd_commands_sent);
-  const auto ta = bench::summarize(result.turnaround_us);
+  std::printf(
+      "    cross-traffic (radiosonde GMSK):  %.2f   (%zu frames, "
+      "95%% CI [%.2f, %.2f])\n",
+      cross.mean(), cross.count(), w_cross.lo, w_cross.hi);
+  std::printf(
+      "    packets that trigger the IMD:     %.2f   (%zu frames, "
+      "95%% CI [%.2f, %.2f])\n",
+      imd.mean(), imd.count(), w_imd.lo, w_imd.hi);
   std::printf("  turn-around time: %.0f +- %.0f us (range [%.0f, %.0f])\n",
-              ta.mean, ta.stddev, ta.min, ta.max);
+              turnaround.mean(), turnaround.stddev(), turnaround.min(),
+              turnaround.max());
   std::printf(
       "\n  paper: cross-traffic never jammed, IMD-addressed always jammed,\n"
       "  turn-around 270 +- 23 us (software implementation).\n");
+  bench::print_campaign_footer(result);
   return 0;
 }

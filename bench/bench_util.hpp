@@ -15,7 +15,11 @@ namespace hs::bench {
 
 struct Args {
   std::uint64_t seed = 1;
-  std::size_t trials = 0;  ///< 0 => bench default
+  /// 0 => bench default. For campaign-based benches this counts campaign
+  /// trials per sweep point (each trial may decode many packets), NOT the
+  /// packets-per-location of the pre-campaign loops.
+  std::size_t trials = 0;
+  unsigned threads = 0;    ///< campaign workers; 0 => hardware concurrency
 
   static Args parse(int argc, char** argv) {
     Args args;
@@ -24,8 +28,15 @@ struct Args {
         args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
       } else if (std::strncmp(argv[i], "--trials=", 9) == 0) {
         args.trials = std::strtoull(argv[i] + 9, nullptr, 10);
+      } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+        args.threads = static_cast<unsigned>(
+            std::strtoul(argv[i] + 10, nullptr, 10));
       } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::printf("usage: %s [--seed=N] [--trials=N]\n", argv[0]);
+        std::printf(
+            "usage: %s [--seed=N] [--trials=N] [--threads=N]\n"
+            "  campaign benches: --trials is campaign trials per sweep "
+            "point\n",
+            argv[0]);
         std::exit(0);
       }
     }

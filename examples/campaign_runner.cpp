@@ -1,0 +1,131 @@
+// Campaign CLI: runs any named scenario preset across a worker pool and
+// emits CSV/JSON aggregates, plus the BENCH_campaign.json perf snapshot
+// comparing 1-thread vs N-thread throughput (aggregates are bit-identical
+// by construction; the tool verifies that on every --bench-json run).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario.hpp"
+
+using namespace hs;
+
+namespace {
+
+void list_presets() {
+  std::printf("%-28s %s\n", "scenario", "reproduces");
+  for (const auto& s : campaign::scenario_presets()) {
+    std::printf("%-28s %s  (%zu points x %zu trials default)\n",
+                s.name.c_str(), s.paper_ref.c_str(), s.point_count(),
+                s.default_trials);
+  }
+}
+
+bool aggregates_identical(const campaign::CampaignResult& a,
+                          const campaign::CampaignResult& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    for (std::size_t m = 0; m < campaign::kMetricCount; ++m) {
+      const auto& sa = a.points[p].metrics[m];
+      const auto& sb = b.points[p].metrics[m];
+      if (sa.count() != sb.count() || sa.mean() != sb.mean() ||
+          sa.stddev() != sb.stddev() || sa.min() != sb.min() ||
+          sa.max() != sb.max()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_name = "fig9-eaves-ber";
+  campaign::CampaignOptions options;
+  options.threads = 0;  // hardware concurrency
+  std::string csv_path, json_path, bench_json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list") == 0) {
+      list_presets();
+      return 0;
+    } else if (std::strncmp(arg, "--scenario=", 11) == 0) {
+      scenario_name = arg + 11;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      options.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--trials=", 9) == 0) {
+      options.trials_per_point = std::strtoull(arg + 9, nullptr, 10);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      options.threads = static_cast<unsigned>(
+          std::strtoul(arg + 10, nullptr, 10));
+    } else if (std::strncmp(arg, "--chunk=", 8) == 0) {
+      options.chunk_size = std::strtoull(arg + 8, nullptr, 10);
+    } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+      csv_path = arg + 6;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (std::strncmp(arg, "--bench-json=", 13) == 0) {
+      bench_json_path = arg + 13;
+    } else {
+      std::printf(
+          "usage: %s [--list] [--scenario=NAME] [--seed=N] [--trials=N]\n"
+          "          [--threads=N] [--chunk=N] [--csv=PATH] [--json=PATH]\n"
+          "          [--bench-json=PATH]\n"
+          "  --threads=0 uses all hardware threads (default)\n"
+          "  --bench-json also runs 1-thread, checks the aggregates are\n"
+          "  bit-identical, and writes a trials/sec perf snapshot\n",
+          argv[0]);
+      return std::strcmp(arg, "--help") == 0 ? 0 : 1;
+    }
+  }
+
+  const campaign::Scenario* scenario = campaign::find_scenario(scenario_name);
+  if (!scenario) {
+    std::fprintf(stderr, "unknown scenario '%s'; --list shows presets\n",
+                 scenario_name.c_str());
+    return 1;
+  }
+  if (options.threads == 0) {
+    options.threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  const auto result = campaign::run_campaign(*scenario, options);
+  campaign::print_summary(stdout, result);
+
+  if (!csv_path.empty() &&
+      !campaign::write_file(csv_path, campaign::to_csv(result))) {
+    return 1;
+  }
+  if (!json_path.empty() &&
+      !campaign::write_file(json_path, campaign::to_json(result))) {
+    return 1;
+  }
+
+  if (!bench_json_path.empty()) {
+    campaign::CampaignOptions serial_options = options;
+    serial_options.threads = 1;
+    const auto serial = campaign::run_campaign(*scenario, serial_options);
+    if (!aggregates_identical(serial, result)) {
+      std::fprintf(stderr,
+                   "FATAL: 1-thread and %u-thread aggregates differ\n",
+                   options.threads);
+      return 1;
+    }
+    std::printf("\n  determinism: %u-thread aggregates bit-identical to "
+                "1-thread\n", options.threads);
+    std::printf("  serial %.1f trials/s, parallel %.1f trials/s\n",
+                serial.trials_per_second(), result.trials_per_second());
+    if (!campaign::write_file(
+            bench_json_path, campaign::perf_snapshot_json(serial, result))) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,178 @@
+#include "campaign/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hs::campaign {
+
+namespace {
+
+void append_row_metrics(std::string& out, const PointResult& point,
+                        Metric metric, const char* fmt_prefix) {
+  const auto& st = point.stats(metric);
+  char buf[512];
+  if (metric_is_indicator(metric)) {
+    const auto w = wilson_interval(st);
+    std::snprintf(buf, sizeof buf, "%s%zu,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g\n",
+                  fmt_prefix, st.count(), st.mean(), st.stddev(), st.min(),
+                  st.max(), w.lo, w.hi);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%zu,%.9g,%.9g,%.9g,%.9g,,\n",
+                  fmt_prefix, st.count(), st.mean(), st.stddev(), st.min(),
+                  st.max());
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_csv(const CampaignResult& result) {
+  std::string out =
+      "scenario,axis,axis_value,metric,count,mean,stddev,min,max,"
+      "wilson_lo,wilson_hi\n";
+  const auto& metrics = metrics_for(result.scenario.kind);
+  for (const auto& point : result.points) {
+    for (Metric metric : metrics) {
+      char prefix[192];
+      std::snprintf(prefix, sizeof prefix, "%s,%s,%.9g,%s,",
+                    result.scenario.name.c_str(),
+                    std::string(axis_name(result.scenario.axis)).c_str(),
+                    point.axis_value,
+                    std::string(metric_name(metric)).c_str());
+      append_row_metrics(out, point, metric, prefix);
+    }
+  }
+  return out;
+}
+
+std::string to_json(const CampaignResult& result) {
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"scenario\": \"%s\",\n"
+                "  \"paper_ref\": \"%s\",\n"
+                "  \"seed\": %" PRIu64 ",\n"
+                "  \"threads\": %u,\n"
+                "  \"trials_per_point\": %zu,\n"
+                "  \"total_trials\": %zu,\n"
+                "  \"wall_seconds\": %.6f,\n"
+                "  \"trials_per_second\": %.3f,\n"
+                "  \"axis\": \"%s\",\n"
+                "  \"points\": [\n",
+                result.scenario.name.c_str(),
+                result.scenario.paper_ref.c_str(), result.options.seed,
+                result.options.threads,
+                result.options.trials_per_point > 0
+                    ? result.options.trials_per_point
+                    : result.scenario.default_trials,
+                result.total_trials, result.wall_seconds,
+                result.trials_per_second(),
+                std::string(axis_name(result.scenario.axis)).c_str());
+  out += buf;
+
+  const auto& metrics = metrics_for(result.scenario.kind);
+  for (std::size_t p = 0; p < result.points.size(); ++p) {
+    const auto& point = result.points[p];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"axis_value\": %.9g, \"metrics\": {",
+                  point.axis_value);
+    out += buf;
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      const auto& st = point.stats(metrics[m]);
+      std::snprintf(buf, sizeof buf,
+                    "%s\"%s\": {\"count\": %zu, \"mean\": %.9g, "
+                    "\"stddev\": %.9g, \"min\": %.9g, \"max\": %.9g",
+                    m == 0 ? "" : ", ",
+                    std::string(metric_name(metrics[m])).c_str(), st.count(),
+                    st.mean(), st.stddev(), st.min(), st.max());
+      out += buf;
+      if (metric_is_indicator(metrics[m])) {
+        const auto w = wilson_interval(st);
+        std::snprintf(buf, sizeof buf,
+                      ", \"wilson_lo\": %.9g, \"wilson_hi\": %.9g", w.lo,
+                      w.hi);
+        out += buf;
+      }
+      out += "}";
+    }
+    out += p + 1 < result.points.size() ? "}},\n" : "}}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void print_summary(std::FILE* out, const CampaignResult& result) {
+  std::fprintf(out, "== campaign: %s ==\n", result.scenario.name.c_str());
+  std::fprintf(out, "   reproduces: %s\n",
+               result.scenario.paper_ref.c_str());
+  std::fprintf(out, "   %zu points x %zu trials, %u thread(s), %.2fs "
+                    "(%.1f trials/s)\n\n",
+               result.points.size(),
+               result.points.empty()
+                   ? std::size_t{0}
+                   : result.total_trials / result.points.size(),
+               result.options.threads, result.wall_seconds,
+               result.trials_per_second());
+  const auto& metrics = metrics_for(result.scenario.kind);
+  std::fprintf(out, "  %-20s", std::string(axis_name(result.scenario.axis))
+                                   .c_str());
+  for (Metric metric : metrics) {
+    std::fprintf(out, "  %-22s", std::string(metric_name(metric)).c_str());
+  }
+  std::fprintf(out, "\n");
+  for (const auto& point : result.points) {
+    std::fprintf(out, "  %-20.6g", point.axis_value);
+    for (Metric metric : metrics) {
+      const auto& st = point.stats(metric);
+      char cell[64];
+      std::snprintf(cell, sizeof cell, "%.4f +- %.4f", st.mean(),
+                    st.stddev());
+      std::fprintf(out, "  %-22s", cell);
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "campaign: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    std::fprintf(stderr, "campaign: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string perf_snapshot_json(const CampaignResult& serial,
+                               const CampaignResult& parallel) {
+  char buf[768];
+  const double speedup = serial.wall_seconds > 0.0 && parallel.wall_seconds > 0.0
+                             ? serial.wall_seconds / parallel.wall_seconds
+                             : 0.0;
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"bench\": \"campaign_runner\",\n"
+                "  \"scenario\": \"%s\",\n"
+                "  \"seed\": %" PRIu64 ",\n"
+                "  \"total_trials\": %zu,\n"
+                "  \"serial\": {\"threads\": 1, \"wall_seconds\": %.6f, "
+                "\"trials_per_second\": %.3f},\n"
+                "  \"parallel\": {\"threads\": %u, \"wall_seconds\": %.6f, "
+                "\"trials_per_second\": %.3f},\n"
+                "  \"speedup\": %.3f\n"
+                "}\n",
+                serial.scenario.name.c_str(), serial.options.seed,
+                serial.total_trials, serial.wall_seconds,
+                serial.trials_per_second(), parallel.options.threads,
+                parallel.wall_seconds, parallel.trials_per_second(), speedup);
+  return std::string(buf);
+}
+
+}  // namespace hs::campaign

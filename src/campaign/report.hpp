@@ -1,0 +1,31 @@
+// CSV / JSON report emitters for campaign results, plus the perf-snapshot
+// writer that records the bench trajectory (trials/sec at 1 vs N threads).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "campaign/runner.hpp"
+
+namespace hs::campaign {
+
+/// One row per (point, metric): axis value, sample count, mean, stddev,
+/// min, max and the Wilson 95% interval for indicator metrics.
+std::string to_csv(const CampaignResult& result);
+
+/// The same aggregates as a single JSON document.
+std::string to_json(const CampaignResult& result);
+
+/// Compact human-readable table (used by the rebased benches).
+void print_summary(std::FILE* out, const CampaignResult& result);
+
+/// Writes `content` to `path`; returns false (and prints to stderr) on
+/// failure.
+bool write_file(const std::string& path, const std::string& content);
+
+/// Perf snapshot comparing a 1-thread and an N-thread run of the same
+/// campaign, as JSON ("BENCH_campaign.json" trajectory format).
+std::string perf_snapshot_json(const CampaignResult& serial,
+                               const CampaignResult& parallel);
+
+}  // namespace hs::campaign

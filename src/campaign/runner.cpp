@@ -1,0 +1,388 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "dsp/rng.hpp"
+#include "dsp/spectrum.hpp"
+#include "imd/programmer.hpp"
+#include "imd/protocol.hpp"
+#include "phy/frame.hpp"
+#include "phy/fsk.hpp"
+#include "shield/calibrate.hpp"
+#include "shield/deployment.hpp"
+#include "shield/experiments.hpp"
+#include "shield/jamgen.hpp"
+
+namespace hs::campaign {
+
+namespace {
+
+void emit(std::vector<TrialSample>& out, Metric metric, double value) {
+  out.push_back(TrialSample{metric, value});
+}
+
+/// Emits `successes` ones and `total - successes` zeros so indicator
+/// metrics aggregate to per-unit Bernoulli streams.
+void emit_indicator(std::vector<TrialSample>& out, Metric metric,
+                    std::size_t successes, std::size_t total) {
+  for (std::size_t i = 0; i < total; ++i) {
+    emit(out, metric, i < successes ? 1.0 : 0.0);
+  }
+}
+
+int axis_location(const Scenario& s, double axis_value) {
+  if (s.axis == SweepAxis::kLocation) return static_cast<int>(axis_value);
+  return s.adversary_locations.empty() ? 1 : s.adversary_locations.front();
+}
+
+std::vector<TrialSample> run_eavesdrop_trial(const Scenario& s,
+                                             double axis_value,
+                                             std::uint64_t seed) {
+  std::vector<TrialSample> out;
+  std::vector<int> locations = s.adversary_locations;
+  if (s.axis == SweepAxis::kLocation) {
+    locations = {static_cast<int>(axis_value)};
+  }
+
+  // Simultaneous eavesdroppers observe the SAME transmissions (same trial
+  // seed), each from its own vantage point; the privacy metric is the
+  // per-packet best adversary (elementwise min BER).
+  std::vector<double> best_ber;
+  double packet_loss = 0.0;
+  for (std::size_t a = 0; a < locations.size(); ++a) {
+    shield::EavesdropOptions opt;
+    opt.seed = seed;
+    opt.location_index = locations[a];
+    opt.packets = s.units_per_trial;
+    opt.jam_profile = s.jam_profile;
+    opt.bandpass_attack = s.bandpass_attack;
+    opt.shield_present = s.shield_present;
+    opt.use_margin_override = s.use_margin_override;
+    opt.jam_margin_db = s.axis == SweepAxis::kJamMarginDb
+                            ? axis_value
+                            : s.jam_margin_db;
+    opt.hardware_error_sigma = s.axis == SweepAxis::kHardwareErrorSigma
+                                   ? axis_value
+                                   : s.hardware_error_sigma;
+    const auto result = shield::run_eavesdrop_experiment(opt);
+    if (a == 0) {
+      best_ber = result.eavesdropper_ber;
+      packet_loss = result.shield_packet_loss();
+    } else {
+      const std::size_t n =
+          std::min(best_ber.size(), result.eavesdropper_ber.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        best_ber[i] = std::min(best_ber[i], result.eavesdropper_ber[i]);
+      }
+    }
+  }
+  for (double ber : best_ber) emit(out, Metric::kAdversaryBer, ber);
+  emit(out, Metric::kShieldPacketLoss, packet_loss);
+  return out;
+}
+
+std::vector<TrialSample> run_attack_trial(const Scenario& s,
+                                          double axis_value,
+                                          std::uint64_t seed) {
+  std::vector<TrialSample> out;
+  bool success = false;
+  bool alarm = false;
+  double battery_mj = 0.0;
+  for (std::size_t i = 0; i < s.imd_profiles.size(); ++i) {
+    shield::AttackOptions opt;
+    // Per-device substream: a two-IMD patient is two physical downlinks.
+    char sub[32];
+    std::snprintf(sub, sizeof sub, "imd-%zu", i);
+    opt.seed = dsp::derive_seed(seed, sub);
+    opt.imd_profile = s.imd_profiles[i];
+    opt.location_index = axis_location(s, axis_value);
+    opt.trials = 1;
+    opt.shield_present = s.shield_present;
+    opt.extra_power_db = s.axis == SweepAxis::kExtraPowerDb
+                             ? axis_value
+                             : s.extra_power_db;
+    opt.kind = s.attack_kind;
+    const auto result = shield::run_attack_experiment(opt);
+    success = success || result.successes > 0;
+    alarm = alarm || result.alarms > 0;
+    battery_mj += result.battery_energy_spent_mj;
+  }
+  emit(out, Metric::kAttackSuccess, success ? 1.0 : 0.0);
+  emit(out, Metric::kAlarm, alarm ? 1.0 : 0.0);
+  emit(out, Metric::kBatteryMj, battery_mj);
+  return out;
+}
+
+std::vector<TrialSample> run_coexistence_trial(const Scenario& s,
+                                               double axis_value,
+                                               std::uint64_t seed) {
+  std::vector<TrialSample> out;
+  shield::CoexistenceOptions opt;
+  opt.seed = seed;
+  opt.location_indices = {axis_location(s, axis_value)};
+  opt.rounds_per_location = s.units_per_trial;
+  const auto result = shield::run_coexistence_experiment(opt);
+  emit_indicator(out, Metric::kCrossTrafficJammed,
+                 result.cross_frames_jammed, result.cross_frames_sent);
+  emit_indicator(out, Metric::kImdCommandJammed,
+                 result.imd_commands_jammed, result.imd_commands_sent);
+  for (double us : result.turnaround_us) {
+    emit(out, Metric::kTurnaroundUs, us);
+  }
+  return out;
+}
+
+std::vector<TrialSample> run_pthresh_trial(const Scenario& s,
+                                           double axis_value,
+                                           std::uint64_t seed) {
+  std::vector<TrialSample> out;
+  const double power_dbm = s.axis == SweepAxis::kAdversaryPowerDbm
+                               ? axis_value
+                               : s.adversary_power_dbm;
+  const int location =
+      s.adversary_locations.empty() ? 1 : s.adversary_locations.front();
+  const auto result = shield::measure_pthresh(
+      seed, location, power_dbm, power_dbm, 1.0, s.units_per_trial);
+  emit_indicator(out, Metric::kPthreshSuccess, result.successes,
+                 s.units_per_trial);
+  for (double rssi : result.success_rssi_dbm) {
+    emit(out, Metric::kPthreshRssiDbm, rssi);
+  }
+  return out;
+}
+
+/// Fig. 3 methodology: command the IMD and measure the reply delay, with
+/// the medium idle and with a second frame keeping it busy through the
+/// reply window. Returns seconds, or a negative value if the IMD stayed
+/// silent.
+double measure_reply_delay(const Scenario& s, std::uint64_t seed,
+                           bool occupy_medium) {
+  shield::DeploymentOptions opt;
+  opt.seed = seed;
+  opt.imd_profile = s.imd_profiles.empty() ? imd::virtuoso_profile()
+                                           : s.imd_profiles.front();
+  opt.shield_present = false;  // raw IMD/programmer interaction
+  shield::Deployment d(opt);
+
+  imd::ProgrammerConfig pcfg;
+  pcfg.fsk = opt.imd_profile.fsk;
+  imd::ProgrammerNode programmer(pcfg, d.medium(), &d.log());
+  d.add_node(&programmer);
+  d.run_for(1e-3);
+
+  const double fs = opt.imd_profile.fsk.fs;
+  const std::size_t start =
+      d.timeline().sample_position() + d.options().block_size;
+  const auto command = imd::make_interrogate(opt.imd_profile.serial, 1);
+  programmer.send_at(command, start);
+  const std::size_t cmd_samples =
+      phy::encode_frame(command).size() * opt.imd_profile.fsk.sps;
+  const std::size_t cmd_end = start + cmd_samples;
+
+  if (occupy_medium) {
+    phy::Frame other;
+    other.device_id = {9, 9, 9, 9, 9, 9, 9, 9, 9, 9};
+    other.type = 0x7F;
+    other.payload.assign(40, 0x55);
+    programmer.send_at(other,
+                       cmd_end + static_cast<std::size_t>(1e-3 * fs));
+  }
+  d.run_for(60e-3);
+
+  if (d.imd().stats().replies_sent == 0) return -1.0;
+  const double reply_start_s =
+      static_cast<double>(d.imd().last_tx_start_sample()) / fs;
+  return reply_start_s - static_cast<double>(cmd_end) / fs;
+}
+
+std::vector<TrialSample> run_timing_trial(const Scenario& s,
+                                          std::uint64_t seed) {
+  std::vector<TrialSample> out;
+  const double idle = measure_reply_delay(s, seed, false);
+  const double busy = measure_reply_delay(s, seed, true);
+  if (idle > 0) emit(out, Metric::kReplyDelayIdleMs, idle * 1e3);
+  if (busy > 0) emit(out, Metric::kReplyDelayBusyMs, busy * 1e3);
+  return out;
+}
+
+std::vector<TrialSample> run_cancellation_trial(const Scenario& s,
+                                                double axis_value,
+                                                std::uint64_t seed) {
+  std::vector<TrialSample> out;
+  shield::DeploymentOptions opt;
+  opt.seed = seed;
+  if (s.axis == SweepAxis::kHardwareErrorSigma) {
+    opt.shield_config.hardware_error_sigma = axis_value;
+  } else if (s.hardware_error_sigma > 0.0) {
+    opt.shield_config.hardware_error_sigma = s.hardware_error_sigma;
+  }
+  shield::Deployment d(opt);
+  emit(out, Metric::kCancellationDb, shield::measure_cancellation_db(d));
+  return out;
+}
+
+std::vector<TrialSample> run_spectrum_trial(const Scenario& s,
+                                            std::uint64_t seed) {
+  std::vector<TrialSample> out;
+  const auto profile = s.imd_profiles.empty() ? imd::virtuoso_profile()
+                                              : s.imd_profiles.front();
+  dsp::PsdEstimate psd;
+  if (s.spectrum_of_jammer) {
+    shield::JammingSignalGenerator gen(profile.fsk, s.jam_profile, seed);
+    gen.set_power(1.0);
+    const auto wave = gen.next(1 << 14);
+    dsp::WelchOptions wopt;
+    wopt.segment_size = 128;
+    psd = dsp::welch_psd(wave, profile.fsk.fs, wopt);
+  } else {
+    dsp::Rng rng(seed, "spectrum-payload");
+    phy::BitVec bits;
+    for (int f = 0; f < 8; ++f) {
+      phy::Frame frame;
+      frame.device_id = profile.serial;
+      frame.type = 0x81;
+      frame.seq = static_cast<std::uint8_t>(f);
+      frame.payload.resize(profile.data_chunk_bytes);
+      for (auto& b : frame.payload) {
+        b = static_cast<std::uint8_t>(rng.next_u64());
+      }
+      const auto fb = phy::encode_frame(frame);
+      bits.insert(bits.end(), fb.begin(), fb.end());
+    }
+    const auto wave = phy::fsk_modulate(profile.fsk, bits);
+    dsp::WelchOptions wopt;
+    wopt.segment_size = 256;
+    psd = dsp::welch_psd(wave, profile.fsk.fs, wopt);
+  }
+  const double in_band = dsp::psd_band_power(psd, -65e3, -35e3) +
+                         dsp::psd_band_power(psd, 35e3, 65e3);
+  const double total = dsp::psd_band_power(psd, -150e3, 150e3);
+  emit(out, Metric::kToneBandFraction, total > 0.0 ? in_band / total : 0.0);
+  return out;
+}
+
+struct Chunk {
+  std::size_t point_index;
+  std::size_t trial_begin;
+  std::size_t trial_end;
+};
+
+}  // namespace
+
+std::uint64_t trial_seed(std::uint64_t campaign_seed,
+                         std::string_view scenario_name,
+                         std::size_t point_index, std::size_t trial_index) {
+  char sub[48];
+  std::snprintf(sub, sizeof sub, "point-%zu/trial-%zu", point_index,
+                trial_index);
+  return dsp::derive_seed(dsp::derive_seed(campaign_seed, scenario_name),
+                          sub);
+}
+
+std::vector<TrialSample> run_trial(const Scenario& scenario,
+                                   std::size_t point_index,
+                                   double axis_value, std::uint64_t seed) {
+  (void)point_index;
+  switch (scenario.kind) {
+    case ExperimentKind::kEavesdrop:
+      return run_eavesdrop_trial(scenario, axis_value, seed);
+    case ExperimentKind::kActiveAttack:
+      return run_attack_trial(scenario, axis_value, seed);
+    case ExperimentKind::kCoexistence:
+      return run_coexistence_trial(scenario, axis_value, seed);
+    case ExperimentKind::kPthresh:
+      return run_pthresh_trial(scenario, axis_value, seed);
+    case ExperimentKind::kImdTiming:
+      return run_timing_trial(scenario, seed);
+    case ExperimentKind::kCancellation:
+      return run_cancellation_trial(scenario, axis_value, seed);
+    case ExperimentKind::kSpectrum:
+      return run_spectrum_trial(scenario, seed);
+  }
+  return {};
+}
+
+CampaignResult run_campaign(const Scenario& scenario,
+                            const CampaignOptions& options) {
+  CampaignResult result;
+  result.scenario = scenario;
+  result.options = options;
+
+  const std::size_t trials = options.trials_per_point > 0
+                                 ? options.trials_per_point
+                                 : scenario.default_trials;
+  const std::size_t point_count = scenario.point_count();
+  const std::size_t chunk_size = std::max<std::size_t>(options.chunk_size, 1);
+
+  result.points.resize(point_count);
+  std::vector<Chunk> chunks;
+  for (std::size_t p = 0; p < point_count; ++p) {
+    result.points[p].point_index = p;
+    result.points[p].axis_value =
+        scenario.axis == SweepAxis::kNone ? 0.0 : scenario.axis_values[p];
+    for (std::size_t t = 0; t < trials; t += chunk_size) {
+      chunks.push_back(Chunk{p, t, std::min(t + chunk_size, trials)});
+    }
+  }
+
+  // Chunk-local accumulators: workers race only on the chunk counter, and
+  // the deterministic chunk order (not the thread schedule) defines the
+  // final merge order.
+  std::vector<std::array<StreamingStats, kMetricCount>> chunk_stats(
+      chunks.size());
+
+  unsigned thread_count = options.threads > 0
+                              ? options.threads
+                              : std::max(1u, std::thread::hardware_concurrency());
+  thread_count = std::min<unsigned>(
+      thread_count, static_cast<unsigned>(std::max<std::size_t>(
+                        chunks.size(), 1)));
+  result.options.threads = thread_count;
+
+  std::atomic<std::size_t> next_chunk{0};
+  const auto worker = [&]() {
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1);
+      if (c >= chunks.size()) break;
+      const Chunk& chunk = chunks[c];
+      const double axis_value = result.points[chunk.point_index].axis_value;
+      for (std::size_t t = chunk.trial_begin; t < chunk.trial_end; ++t) {
+        const std::uint64_t seed = trial_seed(options.seed, scenario.name,
+                                              chunk.point_index, t);
+        const auto samples =
+            run_trial(scenario, chunk.point_index, axis_value, seed);
+        for (const auto& sample : samples) {
+          chunk_stats[c][static_cast<std::size_t>(sample.metric)].add(
+              sample.value);
+        }
+      }
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (thread_count <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(thread_count);
+    for (unsigned i = 0; i < thread_count; ++i) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    auto& point = result.points[chunks[c].point_index];
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      point.metrics[m].merge(chunk_stats[c][m]);
+    }
+  }
+  result.total_trials = point_count * trials;
+  return result;
+}
+
+}  // namespace hs::campaign

@@ -1,0 +1,81 @@
+// Parallel Monte Carlo campaign runner.
+//
+// Expands a Scenario's sweep axis into points, fans (point, trial) work
+// units over a std::thread pool, and aggregates per-point statistics.
+// Determinism: every trial's seed is derived from (campaign seed, scenario
+// name, point index, trial index) through the named-substream Rng, and
+// chunk accumulators are merged in fixed chunk order — so 1-thread and
+// N-thread runs produce bit-identical aggregates.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+#include "campaign/stats.hpp"
+
+namespace hs::campaign {
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  /// Trials per sweep point; 0 uses the scenario's default_trials.
+  std::size_t trials_per_point = 0;
+  /// Worker threads; 0 uses std::thread::hardware_concurrency().
+  unsigned threads = 1;
+  /// Trials per work chunk. Chunk boundaries — not thread count — define
+  /// the merge order, so this must stay fixed across runs being compared.
+  /// One trial per chunk maximizes parallelism (a trial simulates a full
+  /// deployment, so accumulator merge overhead is negligible).
+  std::size_t chunk_size = 1;
+};
+
+/// Aggregates for one sweep point.
+struct PointResult {
+  std::size_t point_index = 0;
+  double axis_value = 0.0;
+  std::array<StreamingStats, kMetricCount> metrics;
+
+  const StreamingStats& stats(Metric m) const {
+    return metrics[static_cast<std::size_t>(m)];
+  }
+};
+
+struct CampaignResult {
+  Scenario scenario;
+  CampaignOptions options;
+  std::vector<PointResult> points;
+  std::size_t total_trials = 0;
+  double wall_seconds = 0.0;
+
+  double trials_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(total_trials) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Deterministic per-trial seed derived via the Rng substream mechanism.
+std::uint64_t trial_seed(std::uint64_t campaign_seed,
+                         std::string_view scenario_name,
+                         std::size_t point_index, std::size_t trial_index);
+
+/// One metric sample produced by a trial.
+struct TrialSample {
+  Metric metric;
+  double value;
+};
+
+/// Executes one trial of the scenario at the given sweep point (exposed
+/// for tests; run_campaign is the normal entry point).
+std::vector<TrialSample> run_trial(const Scenario& scenario,
+                                   std::size_t point_index,
+                                   double axis_value, std::uint64_t seed);
+
+/// Runs the full campaign on the configured worker pool.
+CampaignResult run_campaign(const Scenario& scenario,
+                            const CampaignOptions& options);
+
+}  // namespace hs::campaign

@@ -1,0 +1,135 @@
+// Declarative Monte Carlo scenarios for the paper's evaluation grid.
+//
+// A Scenario names one experiment family (passive eavesdropping, active
+// command injection, coexistence, calibration, timing, cancellation or
+// spectral profiling), its geometry and ablation toggles, and an optional
+// sweep axis. The campaign runner expands the sweep into points, fans
+// repeated trials over a worker pool, and aggregates per-point statistics.
+// Every hand-rolled bench_fig*/bench_table* workload has a named preset
+// here, plus multi-adversary and multi-IMD variants the paper's testbed
+// could not set up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "imd/profiles.hpp"
+#include "shield/experiments.hpp"
+
+namespace hs::campaign {
+
+/// Which experiment family a trial executes.
+enum class ExperimentKind {
+  kEavesdrop,     ///< passive adversary BER / shield PER (Figs. 8-10)
+  kActiveAttack,  ///< unauthorized command injection (Figs. 11-13)
+  kCoexistence,   ///< cross-traffic + turn-around (Table 2)
+  kPthresh,       ///< alarm-threshold calibration (Table 1)
+  kImdTiming,     ///< IMD reply-delay / no-carrier-sense (Fig. 3)
+  kCancellation,  ///< antidote cancellation CDF (Fig. 7, ablations)
+  kSpectrum,      ///< FSK / jamming power profile (Figs. 4-5)
+};
+
+/// The parameter a scenario sweeps; each value becomes one campaign point.
+enum class SweepAxis {
+  kNone,               ///< single point
+  kLocation,           ///< testbed location index (1-based)
+  kJamMarginDb,        ///< jamming power relative to received IMD power
+  kExtraPowerDb,       ///< adversary power above the FCC limit
+  kHardwareErrorSigma, ///< antidote analog accuracy
+  kAdversaryPowerDbm,  ///< raw adversary TX power (P_thresh sweep)
+};
+
+/// Everything a campaign trial needs, as data. Axis values override the
+/// corresponding scalar field at each sweep point.
+struct Scenario {
+  std::string name;
+  std::string paper_ref;
+  ExperimentKind kind = ExperimentKind::kEavesdrop;
+
+  // -- geometry / devices ---------------------------------------------------
+  /// Adversary (or eavesdropper) testbed locations. More than one entry
+  /// means simultaneous adversaries: the eavesdrop metric becomes the
+  /// per-packet BEST adversary (min BER), the conservative privacy bound.
+  std::vector<int> adversary_locations{1};
+  /// IMDs protected by the shield. More than one entry means the attack
+  /// succeeds if ANY device accepts the command (multi-IMD patient).
+  std::vector<imd::ImdProfile> imd_profiles{imd::virtuoso_profile()};
+  bool shield_present = true;
+
+  // -- passive-adversary / jamming toggles ----------------------------------
+  shield::JamProfile jam_profile = shield::JamProfile::kShaped;
+  bool bandpass_attack = false;        ///< shaping ablation decoder
+  bool use_margin_override = false;
+  double jam_margin_db = 20.0;
+  double hardware_error_sigma = 0.0;   ///< <= 0 keeps the shield default
+
+  // -- active-adversary toggles ---------------------------------------------
+  shield::AttackKind attack_kind = shield::AttackKind::kTriggerTransmission;
+  double extra_power_db = 0.0;
+
+  // -- calibration / spectrum toggles ---------------------------------------
+  double adversary_power_dbm = 0.0;    ///< P_thresh point power
+  bool spectrum_of_jammer = false;     ///< Fig. 5 (true) vs Fig. 4 (false)
+
+  // -- workload shape --------------------------------------------------------
+  /// Packets decoded (eavesdrop) or rounds played (coexistence/P_thresh)
+  /// inside one trial. Active-attack trials are always one attempt.
+  std::size_t units_per_trial = 1;
+  /// Trials per sweep point when the caller does not override.
+  std::size_t default_trials = 40;
+
+  // -- sweep -----------------------------------------------------------------
+  SweepAxis axis = SweepAxis::kNone;
+  std::vector<double> axis_values;     ///< ignored when axis == kNone
+
+  /// Number of sweep points (>= 1).
+  std::size_t point_count() const {
+    return axis == SweepAxis::kNone ? 1 : axis_values.size();
+  }
+};
+
+/// The metrics a trial can emit. Indicator metrics (0/1 samples) support
+/// Wilson intervals; continuous metrics report mean/stddev/min/max.
+enum class Metric {
+  kAdversaryBer,
+  kShieldPacketLoss,
+  kAttackSuccess,
+  kAlarm,
+  kBatteryMj,
+  kCrossTrafficJammed,
+  kImdCommandJammed,
+  kTurnaroundUs,
+  kPthreshSuccess,
+  kPthreshRssiDbm,
+  kReplyDelayIdleMs,
+  kReplyDelayBusyMs,
+  kCancellationDb,
+  kToneBandFraction,
+};
+
+inline constexpr std::size_t kMetricCount = 14;
+
+/// Stable short name used in CSV/JSON reports.
+std::string_view metric_name(Metric metric);
+
+/// True for 0/1 indicator metrics (Wilson intervals are meaningful).
+bool metric_is_indicator(Metric metric);
+
+/// Metrics the given experiment family emits, in report order.
+const std::vector<Metric>& metrics_for(ExperimentKind kind);
+
+/// Human-readable axis label for reports ("location", "jam margin (dB)"...).
+std::string_view axis_name(SweepAxis axis);
+
+/// All named scenario presets (one per bench_fig*/bench_table* workload,
+/// the section-6 ablations, and the new multi-adversary / multi-IMD
+/// variants).
+const std::vector<Scenario>& scenario_presets();
+
+/// Looks up a preset by name; nullptr when unknown.
+const Scenario* find_scenario(std::string_view name);
+
+}  // namespace hs::campaign

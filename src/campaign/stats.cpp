@@ -1,0 +1,69 @@
+#include "campaign/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hs::campaign {
+
+void StreamingStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::variance() const {
+  if (count_ == 0) return 0.0;
+  return std::max(m2_ / static_cast<double>(count_), 0.0);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+WilsonInterval wilson_interval(std::size_t successes, std::size_t total,
+                               double z) {
+  WilsonInterval w;
+  if (total == 0) return w;
+  const double n = static_cast<double>(total);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  w.lo = std::clamp((center - margin) / denom, 0.0, 1.0);
+  w.hi = std::clamp((center + margin) / denom, 0.0, 1.0);
+  return w;
+}
+
+WilsonInterval wilson_interval(const StreamingStats& stats, double z) {
+  const double clamped =
+      std::clamp(stats.sum(), 0.0, static_cast<double>(stats.count()));
+  return wilson_interval(
+      static_cast<std::size_t>(std::llround(clamped)), stats.count(), z);
+}
+
+}  // namespace hs::campaign

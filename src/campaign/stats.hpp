@@ -1,0 +1,58 @@
+// Streaming statistics for Monte Carlo campaigns.
+//
+// Workers accumulate samples into chunk-local StreamingStats and the runner
+// merges the chunks in a fixed order, so the final aggregates are
+// bit-identical no matter how many threads executed the trials.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hs::campaign {
+
+/// Welford/Chan streaming accumulator: mean, variance, min and max of a
+/// sample stream, mergeable across accumulators without storing samples.
+/// Merging A.merge(B) is equivalent to feeding B's samples after A's; as
+/// long as the merge order is deterministic, results are bit-reproducible.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  /// Folds `other` into this accumulator (Chan et al.'s parallel update).
+  void merge(const StreamingStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance/stddev (divides by n), matching the conventions
+  /// of the bench summaries this subsystem replaces.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Wilson score interval for a Bernoulli proportion.
+struct WilsonInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Wilson interval from `successes` out of `total` at confidence z
+/// (z = 1.96 for 95%). Returns [0, 1] bounds; empty totals give [0, 0].
+WilsonInterval wilson_interval(std::size_t successes, std::size_t total,
+                               double z = 1.96);
+
+/// Wilson interval for a stats stream whose samples are 0/1 indicators
+/// (attack success, packet jammed, ...). `stats.sum()` is the success
+/// count; non-indicator streams get a clamped but meaningless interval.
+WilsonInterval wilson_interval(const StreamingStats& stats, double z = 1.96);
+
+}  // namespace hs::campaign

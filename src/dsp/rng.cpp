@@ -35,6 +35,10 @@ Rng::Rng(std::uint64_t seed) {
 Rng::Rng(std::uint64_t seed, std::string_view stream_name)
     : Rng(seed ^ hash_stream_name(stream_name)) {}
 
+std::uint64_t derive_seed(std::uint64_t seed, std::string_view stream_name) {
+  return Rng(seed, stream_name).next_u64();
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
   const std::uint64_t t = s_[1] << 17;

@@ -65,4 +65,11 @@ class Rng {
 /// independent named substreams from one experiment seed.
 std::uint64_t hash_stream_name(std::string_view name);
 
+/// Derives a fresh 64-bit seed from a parent seed and a substream name —
+/// the Rng(seed, name) mechanism for callers that need a seed rather
+/// than a stream (e.g. the campaign runner's per-trial seeds). Unlike
+/// `seed ^ hash_stream_name(name)`, the result is passed through the
+/// generator so related names do not yield correlated seeds.
+std::uint64_t derive_seed(std::uint64_t seed, std::string_view stream_name);
+
 }  // namespace hs::dsp

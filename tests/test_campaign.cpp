@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario.hpp"
+#include "campaign/stats.hpp"
+#include "dsp/rng.hpp"
+
+namespace hs::campaign {
+namespace {
+
+// A fast scenario for engine tests: spectrum trials avoid the full
+// deployment simulation, so many trials run in milliseconds.
+Scenario fast_scenario() {
+  Scenario s = *find_scenario("fig5-jam-shaped");
+  s.default_trials = 24;
+  return s;
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      const auto& sa = a.points[p].metrics[m];
+      const auto& sb = b.points[p].metrics[m];
+      EXPECT_EQ(sa.count(), sb.count());
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(sa.mean(), sb.mean());
+      EXPECT_EQ(sa.stddev(), sb.stddev());
+      EXPECT_EQ(sa.min(), sb.min());
+      EXPECT_EQ(sa.max(), sb.max());
+    }
+  }
+}
+
+TEST(StreamingStats, MatchesSerialReference) {
+  dsp::Rng rng(42, "stats-test");
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.gaussian(3.0, 2.5));
+
+  StreamingStats st;
+  double sum = 0.0, sum_sq = 0.0, mn = xs[0], mx = xs[0];
+  for (double x : xs) {
+    st.add(x);
+    sum += x;
+    sum_sq += x * x;
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  const double var = sum_sq / static_cast<double>(xs.size()) - mean * mean;
+
+  EXPECT_EQ(st.count(), xs.size());
+  EXPECT_NEAR(st.mean(), mean, 1e-12);
+  EXPECT_NEAR(st.variance(), var, 1e-9);
+  EXPECT_EQ(st.min(), mn);
+  EXPECT_EQ(st.max(), mx);
+}
+
+TEST(StreamingStats, MergeEqualsSequentialFeed) {
+  dsp::Rng rng(7, "stats-merge");
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform(-10.0, 10.0));
+
+  StreamingStats whole;
+  for (double x : xs) whole.add(x);
+
+  // Split into uneven chunks, accumulate separately, merge in order.
+  StreamingStats merged;
+  const std::size_t cuts[] = {0, 13, 100, 101, 350, 500};
+  for (std::size_t c = 0; c + 1 < std::size(cuts); ++c) {
+    StreamingStats part;
+    for (std::size_t i = cuts[c]; i < cuts[c + 1]; ++i) part.add(xs[i]);
+    merged.merge(part);
+  }
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+}
+
+TEST(StreamingStats, MergeEmptyIsIdentity) {
+  StreamingStats a;
+  a.add(1.0);
+  a.add(2.0);
+  StreamingStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Wilson, KnownValues) {
+  // 8/10 successes at 95%: Wilson interval ~[0.49, 0.94].
+  const auto w = wilson_interval(8, 10);
+  EXPECT_NEAR(w.lo, 0.49, 0.02);
+  EXPECT_NEAR(w.hi, 0.94, 0.02);
+  const auto none = wilson_interval(0, 0);
+  EXPECT_EQ(none.lo, 0.0);
+  EXPECT_EQ(none.hi, 0.0);
+  const auto all = wilson_interval(10, 10);
+  EXPECT_GT(all.lo, 0.6);
+  EXPECT_EQ(all.hi, 1.0);
+}
+
+TEST(TrialSeed, DeterministicAndDistinct) {
+  const auto s1 = trial_seed(1, "scenario-a", 0, 0);
+  EXPECT_EQ(s1, trial_seed(1, "scenario-a", 0, 0));
+  EXPECT_NE(s1, trial_seed(1, "scenario-a", 0, 1));
+  EXPECT_NE(s1, trial_seed(1, "scenario-a", 1, 0));
+  EXPECT_NE(s1, trial_seed(1, "scenario-b", 0, 0));
+  EXPECT_NE(s1, trial_seed(2, "scenario-a", 0, 0));
+}
+
+TEST(Campaign, SameSeedSameAggregates) {
+  const Scenario s = fast_scenario();
+  CampaignOptions opt;
+  opt.seed = 99;
+  opt.threads = 1;
+  const auto a = run_campaign(s, opt);
+  const auto b = run_campaign(s, opt);
+  expect_identical(a, b);
+
+  CampaignOptions other = opt;
+  other.seed = 100;
+  const auto c = run_campaign(s, other);
+  EXPECT_NE(a.points[0].stats(Metric::kToneBandFraction).mean(),
+            c.points[0].stats(Metric::kToneBandFraction).mean());
+}
+
+TEST(Campaign, ParallelBitIdenticalToSerial) {
+  const Scenario s = fast_scenario();
+  CampaignOptions serial;
+  serial.seed = 5;
+  serial.threads = 1;
+  const auto a = run_campaign(s, serial);
+
+  for (unsigned threads : {2u, 4u, 7u}) {
+    CampaignOptions parallel = serial;
+    parallel.threads = threads;
+    const auto b = run_campaign(s, parallel);
+    expect_identical(a, b);
+  }
+}
+
+TEST(Campaign, ParallelBitIdenticalOnSweptScenario) {
+  // An eavesdrop scenario exercises the full deployment path and a sweep
+  // axis; keep it tiny so the test stays fast.
+  Scenario s = *find_scenario("fig8-tradeoff");
+  s.axis_values = {10.0, 20.0};
+  s.units_per_trial = 1;
+  s.default_trials = 2;
+
+  CampaignOptions serial;
+  serial.seed = 3;
+  serial.threads = 1;
+  CampaignOptions parallel = serial;
+  parallel.threads = 4;
+  expect_identical(run_campaign(s, serial), run_campaign(s, parallel));
+}
+
+TEST(Campaign, ChunkAccumulatorsMatchSerialReference) {
+  // The campaign's chunked merge must agree with a plain in-order
+  // accumulation of the same trial samples.
+  const Scenario s = fast_scenario();
+  CampaignOptions opt;
+  opt.seed = 11;
+  opt.threads = 3;
+  opt.chunk_size = 5;  // uneven: 24 trials -> chunks of 5,5,5,5,4
+  const auto result = run_campaign(s, opt);
+
+  StreamingStats reference;
+  for (std::size_t t = 0; t < s.default_trials; ++t) {
+    const auto samples =
+        run_trial(s, 0, 0.0, trial_seed(opt.seed, s.name, 0, t));
+    for (const auto& sample : samples) {
+      if (sample.metric == Metric::kToneBandFraction) {
+        reference.add(sample.value);
+      }
+    }
+  }
+  const auto& st = result.points[0].stats(Metric::kToneBandFraction);
+  EXPECT_EQ(st.count(), reference.count());
+  EXPECT_NEAR(st.mean(), reference.mean(), 1e-12);
+  EXPECT_NEAR(st.variance(), reference.variance(), 1e-12);
+  EXPECT_EQ(st.min(), reference.min());
+  EXPECT_EQ(st.max(), reference.max());
+}
+
+TEST(Campaign, EveryPresetExpandsAndSeeds) {
+  for (const auto& s : scenario_presets()) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_GE(s.point_count(), 1u);
+    EXPECT_GT(s.default_trials, 0u);
+    EXPECT_FALSE(metrics_for(s.kind).empty());
+    // Seeds must be derivable for every point without collisions across
+    // the first two trials.
+    const auto a = trial_seed(1, s.name, 0, 0);
+    const auto b = trial_seed(1, s.name, 0, 1);
+    EXPECT_NE(a, b);
+  }
+  EXPECT_EQ(find_scenario("definitely-not-a-preset"), nullptr);
+  EXPECT_NE(find_scenario("fig9-eaves-ber"), nullptr);
+}
+
+TEST(Report, CsvAndJsonWellFormed) {
+  const Scenario s = fast_scenario();
+  CampaignOptions opt;
+  opt.seed = 1;
+  opt.threads = 2;
+  opt.trials_per_point = 4;
+  const auto result = run_campaign(s, opt);
+
+  const auto csv = to_csv(result);
+  EXPECT_NE(csv.find("scenario,axis,axis_value,metric"), std::string::npos);
+  EXPECT_NE(csv.find("fig5-jam-shaped"), std::string::npos);
+  EXPECT_NE(csv.find("tone_band_fraction"), std::string::npos);
+
+  const auto json = to_json(result);
+  EXPECT_NE(json.find("\"scenario\": \"fig5-jam-shaped\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"points\""), std::string::npos);
+  // Balanced braces is a cheap well-formedness proxy.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+
+  CampaignOptions serial = opt;
+  serial.threads = 1;
+  const auto snapshot =
+      perf_snapshot_json(run_campaign(s, serial), result);
+  EXPECT_NE(snapshot.find("\"bench\": \"campaign_runner\""),
+            std::string::npos);
+  EXPECT_NE(snapshot.find("\"speedup\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hs::campaign

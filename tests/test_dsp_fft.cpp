@@ -59,7 +59,9 @@ TEST(Fft, SingleToneLandsInItsBin) {
   fft_inplace(data);
   EXPECT_NEAR(std::abs(data[k]), static_cast<double>(n), 1e-9);
   for (std::size_t i = 0; i < n; ++i) {
-    if (i != k) EXPECT_LT(std::abs(data[i]), 1e-8);
+    if (i != k) {
+      EXPECT_LT(std::abs(data[i]), 1e-8);
+    }
   }
 }
 

@@ -37,6 +37,13 @@ TEST(Rng, HashStreamNameStable) {
   EXPECT_NE(hash_stream_name("abc"), hash_stream_name("abd"));
 }
 
+TEST(Rng, DeriveSeedMatchesSubstreamMechanism) {
+  EXPECT_EQ(derive_seed(7, "x"), Rng(7, "x").next_u64());
+  EXPECT_EQ(derive_seed(7, "x"), derive_seed(7, "x"));
+  EXPECT_NE(derive_seed(7, "x"), derive_seed(7, "y"));
+  EXPECT_NE(derive_seed(7, "x"), derive_seed(8, "x"));
+}
+
 TEST(Rng, UniformInUnitInterval) {
   Rng rng(5);
   for (int i = 0; i < 10000; ++i) {
