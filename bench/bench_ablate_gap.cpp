@@ -2,11 +2,13 @@
 // is the cancellation depth; sweeping the antidote hardware accuracy
 // sweeps G and traces the tradeoff between the shield's own decoding and
 // the adversary's.
+//
+// Runs as two campaigns over the same accuracy axis: "ablate-positional"
+// measures the cancellation G each accuracy yields, and "ablate-gap"
+// measures the resulting end-to-end adversary BER and shield loss.
 #include <cstdio>
 
-#include "bench_util.hpp"
-#include "shield/calibrate.hpp"
-#include "shield/experiments.hpp"
+#include "bench_campaign.hpp"
 
 using namespace hs;
 
@@ -15,48 +17,35 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation - SINR gap G vs shield/adversary decoding",
                       "Gollakota et al., SIGCOMM 2011, section 6(c), eq. 9");
 
-  const std::size_t packets = args.trials_or(50);
-  std::printf(
-      "  hw error sigma   measured G (dB)   SINR_shield (dB)   "
-      "adversary BER   shield loss\n");
-  for (double sigma : {0.30, 0.10, 0.05, 0.025, 0.01, 0.003}) {
-    // Measure the cancellation this hardware accuracy yields.
-    shield::DeploymentOptions dopt;
-    dopt.seed = args.seed;
-    dopt.shield_config.hardware_error_sigma = sigma;
-    shield::Deployment d(dopt);
-    double g_sum = 0.0;
-    const int g_runs = 12;
-    for (int i = 0; i < g_runs; ++i) {
-      g_sum += shield::measure_cancellation_db(d);
-    }
-    // Equation 9 check: the shield's post-cancellation SINR grows
-    // dB-for-dB with G while the adversary's stays pinned.
-    const double residual_dbm = shield::measure_jam_residual_dbm(d);
-    const double sinr_shield_db =
-        d.shield().measured_imd_rssi_dbm() - residual_dbm;
+  const auto cancellation = bench::run_preset("ablate-positional", args);
+  const auto eavesdrop = bench::run_preset("ablate-gap", args);
 
-    // And the resulting end-to-end performance.
-    shield::EavesdropOptions opt;
-    opt.seed = args.seed + 17;
-    opt.location_index = 1;
-    opt.packets = packets;
-    shield::DeploymentOptions base;
-    // run_eavesdrop_experiment builds its own deployment; pass sigma via
-    // the shield config override.
-    opt.use_margin_override = true;
-    opt.jam_margin_db = 20.0;
-    opt.hardware_error_sigma = sigma;
-    const auto result = shield::run_eavesdrop_experiment(opt);
+  // The two presets deliberately share one sigma axis (scenario.cpp's
+  // sigma_sweep); the row-wise join below depends on it.
+  if (cancellation.points.size() != eavesdrop.points.size()) {
+    std::fprintf(stderr,
+                 "bench: ablate-positional and ablate-gap sweep different "
+                 "axes (%zu vs %zu points); re-align their presets\n",
+                 cancellation.points.size(), eavesdrop.points.size());
+    return 1;
+  }
+
+  std::printf(
+      "  hw error sigma   measured G (dB)   adversary BER   shield loss\n");
+  for (std::size_t p = 0; p < eavesdrop.points.size(); ++p) {
     std::printf(
-        "  %8.3f         %8.1f          %8.1f           %8.4f        "
-        "%8.4f\n",
-        sigma, g_sum / g_runs, sinr_shield_db, result.mean_ber(),
-        result.shield_packet_loss());
+        "  %8.3f         %8.1f          %8.4f        %8.4f\n",
+        eavesdrop.points[p].axis_value,
+        cancellation.points[p].stats(campaign::Metric::kCancellationDb)
+            .mean(),
+        eavesdrop.points[p].stats(campaign::Metric::kAdversaryBer).mean(),
+        eavesdrop.points[p].stats(campaign::Metric::kShieldPacketLoss)
+            .mean());
   }
   std::printf(
       "\n  expected: smaller hardware error => larger G => the shield\n"
       "  keeps decoding reliably at the same adversary BER (eq. 9); with\n"
       "  G too small the shield starts losing its own IMD's packets.\n");
+  bench::print_campaign_footer(eavesdrop);
   return 0;
 }

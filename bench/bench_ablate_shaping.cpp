@@ -4,10 +4,13 @@
 // filtering sheds most of the jamming energy and decoding recovers. The
 // shaped jammer concentrates power where decoding happens, so filtering
 // gains the adversary nothing.
+//
+// Runs as a campaign: the four "ablate-shaping-*" presets cover the
+// {shaped, constant} x {optimal, band-pass} grid, each sweeping the jam
+// margins +8/+14/+20 dB.
 #include <cstdio>
 
-#include "bench_util.hpp"
-#include "shield/experiments.hpp"
+#include "bench_campaign.hpp"
 
 using namespace hs;
 
@@ -16,42 +19,34 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation - shaped vs constant jamming profile",
                       "Gollakota et al., SIGCOMM 2011, section 6(a)/Fig. 5");
 
-  const std::size_t packets = args.trials_or(60);
   struct Cell {
-    shield::JamProfile profile;
-    bool bandpass;
+    const char* preset;
     const char* label;
   };
   const Cell cells[] = {
-      {shield::JamProfile::kShaped, false, "shaped jam, optimal decoder   "},
-      {shield::JamProfile::kShaped, true, "shaped jam, band-pass attack  "},
-      {shield::JamProfile::kConstant, false,
-       "constant jam, optimal decoder "},
-      {shield::JamProfile::kConstant, true,
-       "constant jam, band-pass attack"},
+      {"ablate-shaping-shaped-opt", "shaped jam, optimal decoder   "},
+      {"ablate-shaping-shaped-bpf", "shaped jam, band-pass attack  "},
+      {"ablate-shaping-constant-opt", "constant jam, optimal decoder "},
+      {"ablate-shaping-constant-bpf", "constant jam, band-pass attack"},
   };
   std::printf(
       "  configuration                    adversary BER at jam margin\n"
       "                                   +8 dB    +14 dB   +20 dB\n");
+  campaign::CampaignResult last;
   for (const auto& cell : cells) {
+    const auto result = bench::run_preset(cell.preset, args);
     std::printf("  %s", cell.label);
-    for (double margin : {8.0, 14.0, 20.0}) {
-      shield::EavesdropOptions opt;
-      opt.seed = args.seed;
-      opt.location_index = 1;
-      opt.packets = packets;
-      opt.jam_profile = cell.profile;
-      opt.bandpass_attack = cell.bandpass;
-      opt.use_margin_override = true;
-      opt.jam_margin_db = margin;
-      const auto result = shield::run_eavesdrop_experiment(opt);
-      std::printf("   %.4f", result.mean_ber());
+    for (const auto& point : result.points) {
+      std::printf("   %.4f",
+                  point.stats(campaign::Metric::kAdversaryBer).mean());
     }
     std::printf("\n");
+    last = result;
   }
   std::printf(
       "\n  expected: only the constant-profile jammer loses effectiveness\n"
       "  (lower adversary BER), especially against the filtering attack —\n"
       "  which is why the shield shapes its jamming signal.\n");
+  bench::print_campaign_footer(last);
   return 0;
 }

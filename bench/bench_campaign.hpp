@@ -1,6 +1,7 @@
-// Glue for benches that run on the campaign engine: preset lookup wired
-// to the shared CLI args, and the standard throughput footer. Kept out of
-// bench_util.hpp so hand-rolled benches stay decoupled from the engine.
+// Glue for the benches, all of which run on the campaign engine: preset
+// lookup wired to the shared CLI args, and the standard throughput
+// footer. Kept out of bench_util.hpp so the engine-independent helpers
+// (summaries, CDF printing) stay reusable on their own.
 #pragma once
 
 #include <cstdio>
@@ -12,14 +13,17 @@
 
 namespace hs::bench {
 
-/// Runs a named campaign preset with the CLI's seed/trials/threads; exits
-/// with a diagnostic if the preset does not exist.
+/// Runs a named campaign preset with the CLI's seed/trials/threads and
+/// deployment-reuse switch; exits with a diagnostic if the preset does
+/// not exist.
 inline campaign::CampaignResult run_preset(const char* scenario_name,
                                            const Args& args) {
   const campaign::Scenario* scenario =
       campaign::find_scenario(scenario_name);
   if (!scenario) {
-    std::fprintf(stderr, "bench: unknown campaign preset '%s'\n",
+    std::fprintf(stderr,
+                 "bench: unknown campaign preset '%s' (campaign_runner "
+                 "--list shows all)\n",
                  scenario_name);
     std::exit(1);
   }
@@ -27,13 +31,15 @@ inline campaign::CampaignResult run_preset(const char* scenario_name,
   options.seed = args.seed;
   options.trials_per_point = args.trials;
   options.threads = args.threads;
+  options.reuse_deployments = args.reuse;
   return campaign::run_campaign(*scenario, options);
 }
 
 inline void print_campaign_footer(const campaign::CampaignResult& result) {
-  std::printf("  campaign: %zu trials on %u thread(s), %.1f trials/s\n",
+  std::printf("  campaign: %zu trials on %u thread(s), %.1f trials/s%s\n",
               result.total_trials, result.options.threads,
-              result.trials_per_second());
+              result.trials_per_second(),
+              result.options.reuse_deployments ? "" : " (no reuse)");
 }
 
 }  // namespace hs::bench

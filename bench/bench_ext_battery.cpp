@@ -3,11 +3,14 @@
 // continuously"; this bench works the claim out from a power model and
 // also reports the IMD-side battery damage a battery-depletion attack
 // causes with and without the shield.
+//
+// The shield power model is closed-form; the IMD-side damage runs as the
+// "ext-battery" / "ext-battery-noshield" campaign presets (one attack
+// attempt per trial at location 3).
 #include <cstdio>
 
-#include "bench_util.hpp"
+#include "bench_campaign.hpp"
 #include "shield/battery_life.hpp"
-#include "shield/experiments.hpp"
 
 using namespace hs;
 
@@ -35,22 +38,24 @@ int main(int argc, char** argv) {
 
   // IMD battery damage under a battery-depletion attack, with and
   // without the shield (ties section 7(e) to Fig. 11's attack).
-  const std::size_t trials = args.trials_or(25);
-  std::printf("  IMD transmit energy spent under %zu battery-depletion "
-              "attempts (location 3):\n", trials);
-  for (const bool shield_present : {false, true}) {
-    shield::AttackOptions opt;
-    opt.seed = args.seed;
-    opt.location_index = 3;
-    opt.trials = trials;
-    opt.shield_present = shield_present;
-    const auto result = shield::run_attack_experiment(opt);
-    std::printf("    shield %-7s  %6.2f mJ  (%zu forced replies)\n",
-                shield_present ? "present" : "absent",
-                result.battery_energy_spent_mj, result.successes);
+  const auto absent = bench::run_preset("ext-battery-noshield", args);
+  const auto present = bench::run_preset("ext-battery", args);
+  std::printf("  IMD transmit energy spent per battery-depletion attempt "
+              "(location 3, %zu attempts):\n", absent.total_trials);
+  struct Row {
+    const char* label;
+    const campaign::CampaignResult* result;
+  };
+  for (const Row& row : {Row{"absent ", &absent}, Row{"present", &present}}) {
+    const auto& point = row.result->points.front();
+    const auto& battery = point.stats(campaign::Metric::kBatteryMj);
+    const auto& success = point.stats(campaign::Metric::kAttackSuccess);
+    std::printf("    shield %s  %6.2f mJ total  (%.0f forced replies)\n",
+                row.label, battery.sum(), success.sum());
   }
   std::printf(
       "\n  the shield reduces the adversary-forced IMD battery drain to "
       "zero.\n");
+  bench::print_campaign_footer(present);
   return 0;
 }

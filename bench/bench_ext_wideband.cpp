@@ -1,16 +1,18 @@
 // Extension bench (section 7(c)): whole-band monitoring against a
 // frequency-hopping adversary. For every MICS channel, measure whether the
-// wideband monitor flags the unauthorized command and how many bits into
-// the packet the S_id decision fires (the reaction point).
+// wideband monitor flags the unauthorized command and how many ms into the
+// packet the S_id decision fires (the reaction point).
+//
+// Runs as a campaign: the "ext-wideband" preset sweeps the MICS channel
+// axis; detections merge into a Bernoulli stream per channel.
 #include <cstdio>
 
-#include "bench_util.hpp"
-#include "dsp/rng.hpp"
-#include "dsp/units.hpp"
+#include "bench_campaign.hpp"
 #include "imd/profiles.hpp"
 #include "imd/protocol.hpp"
 #include "mics/band.hpp"
-#include "shield/wideband.hpp"
+#include "phy/frame.hpp"
+#include "phy/fsk.hpp"
 
 using namespace hs;
 
@@ -20,53 +22,25 @@ int main(int argc, char** argv) {
       "Extension - 3 MHz whole-band monitoring vs a hopping adversary",
       "Gollakota et al., SIGCOMM 2011, section 7(c)");
 
-  const auto profile = imd::virtuoso_profile();
-  const auto cmd = imd::make_interrogate(profile.serial, 1);
-  const auto wave = phy::fsk_modulate(profile.fsk, phy::encode_frame(cmd));
-  const std::size_t trials = args.trials_or(3);
+  const auto result = bench::run_preset("ext-wideband", args);
 
   std::printf(
       "  channel  center (MHz)   detected   reaction point (ms into "
       "packet)\n");
-  for (std::size_t channel = 0; channel < mics::kChannelCount; ++channel) {
-    std::size_t detections = 0;
-    double reaction_ms_sum = 0;
-    for (std::size_t t = 0; t < trials; ++t) {
-      shield::WidebandMonitor monitor(profile.serial, profile.fsk);
-      // Build the wideband attack stream.
-      dsp::Samples baseband(2400 + wave.size() + 1200, dsp::cplx{});
-      const double amp = dsp::db_to_amplitude(-45.0);
-      for (std::size_t i = 0; i < wave.size(); ++i) {
-        baseband[2400 + i] = amp * wave[i];
-      }
-      mics::ChannelSynthesizer synth;
-      dsp::Samples wideband(baseband.size() * mics::kDecimation,
-                            dsp::cplx{});
-      synth.process(channel, baseband, wideband);
-      dsp::Rng rng(args.seed + channel * 100 + t);
-      for (auto& x : wideband) x += rng.cgaussian(dsp::dbm_to_mw(-112.0));
-
-      // Stream block-wise; note when the jam decision fires.
-      bool detected = false;
-      for (std::size_t i = 0; i < wideband.size() && !detected; i += 480) {
-        const std::size_t n =
-            std::min<std::size_t>(480, wideband.size() - i);
-        monitor.push(dsp::SampleView(wideband.data() + i, n));
-        if (monitor.any_match()) {
-          detected = true;
-          // Reaction point relative to the packet start (wideband sample
-          // 24000), converted to per-channel time.
-          const double reaction_s =
-              (static_cast<double>(i + n) - 24000.0) / mics::kWidebandFs;
-          reaction_ms_sum += reaction_s * 1e3;
-        }
-      }
-      if (detected) ++detections;
-    }
-    std::printf("  %5zu    %8.2f       %zu/%zu        %6.2f\n", channel,
-                mics::channel_center_hz(channel) / 1e6, detections, trials,
-                detections ? reaction_ms_sum / detections : -1.0);
+  for (const auto& point : result.points) {
+    const auto channel = static_cast<std::size_t>(point.axis_value);
+    const auto& detect = point.stats(campaign::Metric::kWidebandDetect);
+    const auto& reaction =
+        point.stats(campaign::Metric::kWidebandReactionMs);
+    std::printf("  %5zu    %8.2f       %.0f/%zu        %6.2f\n", channel,
+                mics::channel_center_hz(channel) / 1e6, detect.sum(),
+                detect.count(),
+                reaction.count() > 0 ? reaction.mean() : -1.0);
   }
+
+  const auto profile = imd::virtuoso_profile();
+  const auto cmd = imd::make_interrogate(profile.serial, 1);
+  const auto wave = phy::fsk_modulate(profile.fsk, phy::encode_frame(cmd));
   std::printf(
       "\n  packet duration is %.1f ms; the monitor reacts after the S_id\n"
       "  prefix (preamble+sync+serial ~ %.1f ms) on whichever channel the\n"
@@ -74,5 +48,6 @@ int main(int argc, char** argv) {
       static_cast<double>(wave.size()) / profile.fsk.fs * 1e3,
       static_cast<double>((phy::kSidBits + 1) * profile.fsk.sps) /
           profile.fsk.fs * 1e3);
+  bench::print_campaign_footer(result);
   return 0;
 }

@@ -2,11 +2,14 @@
 // the IMD to transmit (depleting its battery), by location, with the
 // shield absent vs present. Paper: succeeds up to 14 m (location 8)
 // without the shield; always fails with the shield.
+//
+// Runs as a campaign: the "fig11-trigger" and "fig11-trigger-noshield"
+// presets sweep the location axis; per-trial attack outcomes merge into
+// Bernoulli success streams.
 #include <cstdio>
 
-#include "bench_util.hpp"
+#include "bench_campaign.hpp"
 #include "channel/geometry.hpp"
-#include "shield/experiments.hpp"
 
 using namespace hs;
 
@@ -16,30 +19,26 @@ int main(int argc, char** argv) {
       "Fig. 11 - battery-depletion attack success probability",
       "Gollakota et al., SIGCOMM 2011, Figure 11");
 
-  const std::size_t trials = args.trials_or(50);
+  const auto absent = bench::run_preset("fig11-trigger-noshield", args);
+  const auto present = bench::run_preset("fig11-trigger", args);
+
   std::printf(
       "  location  distance  LOS   P(IMD replies)          battery spent\n"
       "                            absent   present        absent (mJ)\n");
-  for (int loc = 1; loc <= 14; ++loc) {
-    shield::AttackOptions opt;
-    opt.seed = args.seed + static_cast<std::uint64_t>(loc);
-    opt.location_index = loc;
-    opt.trials = trials;
-    opt.kind = shield::AttackKind::kTriggerTransmission;
-
-    opt.shield_present = false;
-    const auto absent = shield::run_attack_experiment(opt);
-    opt.shield_present = true;
-    const auto present = shield::run_attack_experiment(opt);
-
+  for (std::size_t p = 0; p < absent.points.size(); ++p) {
+    const int loc = static_cast<int>(absent.points[p].axis_value);
     const auto& l = channel::testbed_location(loc);
     std::printf("  %5d     %5.1f m   %-3s   %.2f     %.2f           %.2f\n",
                 loc, l.distance_m, l.line_of_sight() ? "yes" : "no",
-                absent.success_probability(), present.success_probability(),
-                absent.battery_energy_spent_mj);
+                absent.points[p].stats(campaign::Metric::kAttackSuccess)
+                    .mean(),
+                present.points[p].stats(campaign::Metric::kAttackSuccess)
+                    .mean(),
+                absent.points[p].stats(campaign::Metric::kBatteryMj).sum());
   }
   std::printf(
       "\n  paper (shield absent):  1 1 1 1 1 0.94 0.77 0.59 0.01 0 ...\n"
       "  paper (shield present): 0 at every location.\n");
+  bench::print_campaign_footer(present);
   return 0;
 }

@@ -1,10 +1,12 @@
 // Fig. 12: probability that the adversary changes the IMD's therapy
 // parameters, by location, shield absent vs present.
+//
+// Runs as a campaign: the "fig12-therapy" and "fig12-therapy-noshield"
+// presets sweep the location axis.
 #include <cstdio>
 
-#include "bench_util.hpp"
+#include "bench_campaign.hpp"
 #include "channel/geometry.hpp"
-#include "shield/experiments.hpp"
 
 using namespace hs;
 
@@ -14,29 +16,25 @@ int main(int argc, char** argv) {
       "Fig. 12 - therapy-modification attack success probability",
       "Gollakota et al., SIGCOMM 2011, Figure 12");
 
-  const std::size_t trials = args.trials_or(50);
+  const auto absent = bench::run_preset("fig12-therapy-noshield", args);
+  const auto present = bench::run_preset("fig12-therapy", args);
+
   std::printf(
       "  location  distance  LOS   P(therapy changed)\n"
       "                            absent   present\n");
-  for (int loc = 1; loc <= 14; ++loc) {
-    shield::AttackOptions opt;
-    opt.seed = args.seed + 1000 + static_cast<std::uint64_t>(loc);
-    opt.location_index = loc;
-    opt.trials = trials;
-    opt.kind = shield::AttackKind::kChangeTherapy;
-
-    opt.shield_present = false;
-    const auto absent = shield::run_attack_experiment(opt);
-    opt.shield_present = true;
-    const auto present = shield::run_attack_experiment(opt);
-
+  for (std::size_t p = 0; p < absent.points.size(); ++p) {
+    const int loc = static_cast<int>(absent.points[p].axis_value);
     const auto& l = channel::testbed_location(loc);
     std::printf("  %5d     %5.1f m   %-3s   %.2f     %.2f\n", loc,
                 l.distance_m, l.line_of_sight() ? "yes" : "no",
-                absent.success_probability(), present.success_probability());
+                absent.points[p].stats(campaign::Metric::kAttackSuccess)
+                    .mean(),
+                present.points[p].stats(campaign::Metric::kAttackSuccess)
+                    .mean());
   }
   std::printf(
       "\n  paper (shield absent):  1 1 1 1 0.95 0.84 0.78 0.70 0.02 0.01 ...\n"
       "  paper (shield present): 0 at every location.\n");
+  bench::print_campaign_footer(present);
   return 0;
 }

@@ -2,11 +2,14 @@
 // therapy parameters from up to 27 m (location 13), including
 // non-line-of-sight; with the shield it succeeds only from nearby
 // line-of-sight locations, and every success coincides with an alarm.
+//
+// Runs as a campaign: the "fig13-high-power" and "fig13-high-power-
+// noshield" presets sweep all 18 locations with +20 dB adversary power.
+#include <algorithm>
 #include <cstdio>
 
-#include "bench_util.hpp"
+#include "bench_campaign.hpp"
 #include "channel/geometry.hpp"
-#include "shield/experiments.hpp"
 
 using namespace hs;
 
@@ -15,42 +18,36 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 13 - 100x-power adversary",
                       "Gollakota et al., SIGCOMM 2011, Figure 13");
 
-  const std::size_t trials = args.trials_or(50);
+  const auto absent = bench::run_preset("fig13-high-power-noshield", args);
+  const auto present = bench::run_preset("fig13-high-power", args);
+
   std::printf(
       "  location  distance  LOS   P(success)            P(alarm)\n"
       "                            absent   present\n");
-  std::size_t successes_with_shield = 0;
-  std::size_t alarms_on_success = 0;
-  for (int loc = 1; loc <= static_cast<int>(channel::kTestbedLocationCount);
-       ++loc) {
-    shield::AttackOptions opt;
-    opt.seed = args.seed + 2000 + static_cast<std::uint64_t>(loc);
-    opt.location_index = loc;
-    opt.trials = trials;
-    opt.extra_power_db = 20.0;  // 100x power
-    opt.kind = shield::AttackKind::kChangeTherapy;
-
-    opt.shield_present = false;
-    const auto absent = shield::run_attack_experiment(opt);
-    opt.shield_present = true;
-    const auto present = shield::run_attack_experiment(opt);
-
-    successes_with_shield += present.successes;
-    alarms_on_success += std::min(present.alarms, present.successes);
-
+  double successes_with_shield = 0;
+  double alarms_on_success = 0;
+  for (std::size_t p = 0; p < absent.points.size(); ++p) {
+    const int loc = static_cast<int>(absent.points[p].axis_value);
     const auto& l = channel::testbed_location(loc);
+    const auto& success =
+        present.points[p].stats(campaign::Metric::kAttackSuccess);
+    const auto& alarm = present.points[p].stats(campaign::Metric::kAlarm);
+    successes_with_shield += success.sum();
+    alarms_on_success += std::min(alarm.sum(), success.sum());
     std::printf("  %5d     %5.1f m   %-3s   %.2f     %.2f           %.2f\n",
                 loc, l.distance_m, l.line_of_sight() ? "yes" : "no",
-                absent.success_probability(), present.success_probability(),
-                present.alarm_probability());
+                absent.points[p].stats(campaign::Metric::kAttackSuccess)
+                    .mean(),
+                success.mean(), alarm.mean());
   }
   std::printf(
-      "\n  with the shield, %zu successes occurred; alarms accompanied "
-      "%zu of them.\n",
+      "\n  with the shield, %.0f successes occurred; alarms accompanied "
+      "at least %.0f of them.\n",
       successes_with_shield, alarms_on_success);
   std::printf(
       "  paper: success w/o shield up to 27 m (location 13); with the\n"
       "  shield only nearby line-of-sight locations succeed, and the\n"
       "  shield raises an alarm whenever the adversary succeeds.\n");
+  bench::print_campaign_footer(present);
   return 0;
 }

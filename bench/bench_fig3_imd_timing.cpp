@@ -3,80 +3,35 @@
 // (b) The IMD does NOT sense the medium: a second message transmitted
 //     1 ms after the first (so the medium is busy through the reply
 //     window) does not delay the reply.
+//
+// Runs as a campaign: each trial of the "fig3-imd-timing" preset measures
+// the reply delay once with the medium idle and once with it occupied.
 #include <cstdio>
 
-#include "bench_util.hpp"
-#include "imd/programmer.hpp"
-#include "imd/protocol.hpp"
-#include "shield/deployment.hpp"
+#include "bench_campaign.hpp"
 
 using namespace hs;
-
-namespace {
-
-double measure_reply_delay(std::uint64_t seed, bool occupy_medium) {
-  shield::DeploymentOptions opt;
-  opt.seed = seed;
-  opt.shield_present = false;  // raw IMD/programmer interaction
-  shield::Deployment d(opt);
-
-  imd::ProgrammerConfig pcfg;
-  pcfg.fsk = opt.imd_profile.fsk;
-  imd::ProgrammerNode programmer(pcfg, d.medium(), &d.log());
-  d.add_node(&programmer);
-  d.run_for(1e-3);
-
-  const double fs = opt.imd_profile.fsk.fs;
-  const std::size_t start =
-      d.timeline().sample_position() + d.options().block_size;
-  const auto command = imd::make_interrogate(opt.imd_profile.serial, 1);
-  programmer.send_at(command, start);
-  const std::size_t cmd_samples =
-      phy::encode_frame(command).size() * opt.imd_profile.fsk.sps;
-  const std::size_t cmd_end = start + cmd_samples;
-
-  if (occupy_medium) {
-    // A second (random, other-device) message 1 ms after the first keeps
-    // the medium busy across the IMD's reply interval.
-    phy::Frame other;
-    other.device_id = {9, 9, 9, 9, 9, 9, 9, 9, 9, 9};
-    other.type = 0x7F;
-    other.payload.assign(40, 0x55);
-    programmer.send_at(other,
-                       cmd_end + static_cast<std::size_t>(1e-3 * fs));
-  }
-  d.run_for(60e-3);
-
-  if (d.imd().stats().replies_sent == 0) return -1.0;
-  const double reply_start_s =
-      static_cast<double>(d.imd().last_tx_start_sample()) / fs;
-  return reply_start_s - static_cast<double>(cmd_end) / fs;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const auto args = bench::Args::parse(argc, argv);
   bench::print_header("Fig. 3 - IMD reply timing & absence of carrier sense",
                       "Gollakota et al., SIGCOMM 2011, Figure 3");
 
-  const std::size_t trials = args.trials_or(20);
-  std::vector<double> idle_delays, busy_delays;
-  for (std::size_t t = 0; t < trials; ++t) {
-    const double d1 = measure_reply_delay(args.seed + t, false);
-    const double d2 = measure_reply_delay(args.seed + t, true);
-    if (d1 > 0) idle_delays.push_back(d1 * 1e3);
-    if (d2 > 0) busy_delays.push_back(d2 * 1e3);
-  }
-  const auto idle = bench::summarize(idle_delays);
-  const auto busy = bench::summarize(busy_delays);
+  const auto result = bench::run_preset("fig3-imd-timing", args);
+
+  const auto& point = result.points.front();
+  const auto& idle = point.stats(campaign::Metric::kReplyDelayIdleMs);
+  const auto& busy = point.stats(campaign::Metric::kReplyDelayBusyMs);
   std::printf("  scenario            replies  delay mean  delay range\n");
   std::printf("  medium idle  (a)    %3zu/%zu   %6.2f ms   [%.2f, %.2f] ms\n",
-              idle_delays.size(), trials, idle.mean, idle.min, idle.max);
+              idle.count(), result.total_trials, idle.mean(), idle.min(),
+              idle.max());
   std::printf("  medium busy  (b)    %3zu/%zu   %6.2f ms   [%.2f, %.2f] ms\n",
-              busy_delays.size(), trials, busy.mean, busy.min, busy.max);
+              busy.count(), result.total_trials, busy.mean(), busy.min(),
+              busy.max());
   std::printf(
       "\n  paper: reply ~3.5 ms after the command in BOTH cases (the IMD\n"
       "  transmits within a fixed interval without sensing the medium).\n");
+  bench::print_campaign_footer(result);
   return 0;
 }

@@ -1,28 +1,32 @@
-// Fig. 7: CDF of the jamming-signal cancellation achieved by the antidote
-// at the shield's receive antenna. Paper: ~32 dB on average, low variance,
-// matching antenna-cancellation designs that need half-wavelength antenna
-// separation [3] — but with the antennas side by side.
+// Fig. 7: distribution of the jamming-signal cancellation achieved by the
+// antidote at the shield's receive antenna. Paper: ~32 dB on average, low
+// variance, matching antenna-cancellation designs that need half-
+// wavelength antenna separation [3] — but with the antennas side by side.
+//
+// Runs as a campaign: each trial of the "fig7-cancellation" preset
+// re-probes (fresh channel estimates, fresh hardware-error epoch) and
+// measures one cancellation sample.
 #include <cstdio>
 
-#include "bench_util.hpp"
-#include "shield/calibrate.hpp"
+#include "bench_campaign.hpp"
 
 using namespace hs;
 
 int main(int argc, char** argv) {
   const auto args = bench::Args::parse(argc, argv);
-  bench::print_header("Fig. 7 - antidote cancellation CDF",
+  bench::print_header("Fig. 7 - antidote cancellation distribution",
                       "Gollakota et al., SIGCOMM 2011, Figure 7");
 
-  shield::DeploymentOptions opt;
-  opt.seed = args.seed;
-  shield::Deployment d(opt);
-  const auto samples =
-      shield::measure_cancellation_cdf(d, args.trials_or(200));
-  bench::print_cdf(samples, "nulling (dB)");
-  const auto s = bench::summarize(samples);
-  std::printf("\n  mean cancellation: %.1f dB (paper: ~32 dB)\n", s.mean);
-  std::printf("  stddev: %.1f dB, range [%.1f, %.1f] dB (paper: ~20-40)\n",
-              s.stddev, s.min, s.max);
+  const auto result = bench::run_preset("fig7-cancellation", args);
+
+  const auto& canc =
+      result.points.front().stats(campaign::Metric::kCancellationDb);
+  std::printf("  cancellation samples: %zu\n", canc.count());
+  std::printf("    mean:    %6.1f dB\n", canc.mean());
+  std::printf("    stddev:  %6.1f dB\n", canc.stddev());
+  std::printf("    min:     %6.1f dB\n", canc.min());
+  std::printf("    max:     %6.1f dB\n", canc.max());
+  std::printf("\n  paper: ~32 dB mean, range ~20-40 dB across runs.\n");
+  bench::print_campaign_footer(result);
   return 0;
 }

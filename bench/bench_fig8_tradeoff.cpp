@@ -2,10 +2,12 @@
 // packet loss as the jamming power sweeps from 0 to 25 dB above the IMD
 // power received at the shield. Paper operating point: +20 dB gives the
 // eavesdropper ~50% BER while the shield's packet loss stays ~0.2%.
+//
+// Runs as a campaign: the "fig8-tradeoff" preset sweeps the jam-margin
+// axis; trials fan across the worker pool with pooled deployments.
 #include <cstdio>
 
-#include "bench_util.hpp"
-#include "shield/experiments.hpp"
+#include "bench_campaign.hpp"
 
 using namespace hs;
 
@@ -15,22 +17,19 @@ int main(int argc, char** argv) {
       "Fig. 8 - eavesdropper BER / shield PER vs relative jamming power",
       "Gollakota et al., SIGCOMM 2011, Figures 8(a) and 8(b)");
 
-  const std::size_t packets = args.trials_or(60);
+  const auto result = bench::run_preset("fig8-tradeoff", args);
+
   std::printf(
       "  jam power rel. IMD (dB)   adversary BER   shield packet loss\n");
-  for (double margin = 0.0; margin <= 25.0; margin += 2.5) {
-    shield::EavesdropOptions opt;
-    opt.seed = args.seed;
-    opt.location_index = 1;  // eavesdropper 20 cm away, as in the paper
-    opt.packets = packets;
-    opt.jam_margin_db = margin;
-    opt.use_margin_override = true;
-    const auto result = shield::run_eavesdrop_experiment(opt);
-    std::printf("  %8.1f                  %8.4f        %8.4f\n", margin,
-                result.mean_ber(), result.shield_packet_loss());
+  for (const auto& point : result.points) {
+    std::printf("  %8.1f                  %8.4f        %8.4f\n",
+                point.axis_value,
+                point.stats(campaign::Metric::kAdversaryBer).mean(),
+                point.stats(campaign::Metric::kShieldPacketLoss).mean());
   }
   std::printf(
       "\n  paper: BER ~0.5 at the eavesdropper and PER <= 0.002 at the\n"
       "  shield when jamming 20 dB above the received IMD power.\n");
+  bench::print_campaign_footer(result);
   return 0;
 }

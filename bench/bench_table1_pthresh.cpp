@@ -1,10 +1,14 @@
 // Table 1: the adversarial RSSI at the shield that elicits IMD responses
 // despite jamming — the calibration that sets P_thresh (the alarm
 // threshold is 3 dB below the observed minimum).
+//
+// Runs as a campaign: the "table1-pthresh" preset sweeps the adversary's
+// transmit power; every successful packet contributes its shield-side
+// RSSI sample.
+#include <algorithm>
 #include <cstdio>
 
-#include "bench_util.hpp"
-#include "shield/calibrate.hpp"
+#include "bench_campaign.hpp"
 
 using namespace hs;
 
@@ -13,24 +17,29 @@ int main(int argc, char** argv) {
   bench::print_header("Table 1 - P_thresh calibration",
                       "Gollakota et al., SIGCOMM 2011, Table 1");
 
-  const auto result = shield::measure_pthresh(
-      args.seed, /*location_index=*/1, /*power_lo_dbm=*/-16.0,
-      /*power_hi_dbm=*/14.0, /*power_step_db=*/2.0,
-      args.trials_or(10));
+  const auto result = bench::run_preset("table1-pthresh", args);
 
-  std::printf("  successful packets: %zu\n", result.successes);
-  if (result.successes > 0) {
+  // Pool the per-power RSSI streams exactly as Table 1 aggregates them.
+  campaign::StreamingStats rssi, success;
+  for (const auto& point : result.points) {
+    rssi.merge(point.stats(campaign::Metric::kPthreshRssiDbm));
+    success.merge(point.stats(campaign::Metric::kPthreshSuccess));
+  }
+
+  std::printf("  successful packets: %zu of %zu sent\n", rssi.count(),
+              success.count());
+  if (rssi.count() > 0) {
     std::printf("  adversary RSSI at shield that elicited IMD responses:\n");
-    std::printf("    minimum:   %7.1f dBm\n", result.min_dbm);
-    std::printf("    average:   %7.1f dBm\n", result.mean_dbm);
-    std::printf("    stddev:    %7.1f dB\n", result.stddev_db);
-    std::printf("  => P_thresh (min - 3 dB): %.1f dBm\n",
-                result.min_dbm - 3.0);
+    std::printf("    minimum:   %7.1f dBm\n", rssi.min());
+    std::printf("    average:   %7.1f dBm\n", rssi.mean());
+    std::printf("    stddev:    %7.1f dB\n", rssi.stddev());
+    std::printf("  => P_thresh (min - 3 dB): %.1f dBm\n", rssi.min() - 3.0);
   }
   std::printf(
       "\n  paper: min -11.1 dBm, avg -4.5 dBm, stddev 3.5 dB (USRP-\n"
       "  referenced dBm; our scale is field-referenced, so absolute\n"
       "  values differ by a fixed front-end gain while the min/avg\n"
       "  spread and the thresholding methodology carry over).\n");
+  bench::print_campaign_footer(result);
   return 0;
 }

@@ -1,7 +1,8 @@
 // Campaign CLI: runs any named scenario preset across a worker pool and
 // emits CSV/JSON aggregates, plus the BENCH_campaign.json perf snapshot
-// comparing 1-thread vs N-thread throughput (aggregates are bit-identical
-// by construction; the tool verifies that on every --bench-json run).
+// comparing no-reuse vs deployment-reuse and 1-thread vs N-thread
+// throughput. Aggregates are bit-identical across all four combinations
+// by construction; the tool verifies both axes on every --bench-json run.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -17,12 +18,15 @@ using namespace hs;
 
 namespace {
 
-void list_presets() {
-  std::printf("%-28s %s\n", "scenario", "reproduces");
+void list_presets(std::FILE* out) {
+  std::fprintf(out, "%-28s %-26s %s\n", "scenario", "reproduces",
+               "description");
   for (const auto& s : campaign::scenario_presets()) {
-    std::printf("%-28s %s  (%zu points x %zu trials default)\n",
-                s.name.c_str(), s.paper_ref.c_str(), s.point_count(),
-                s.default_trials);
+    char shape[48];
+    std::snprintf(shape, sizeof shape, "  (%zu points x %zu trials)",
+                  s.point_count(), s.default_trials);
+    std::fprintf(out, "%-28s %-26s %s%s\n", s.name.c_str(),
+                 s.paper_ref.c_str(), s.description.c_str(), shape);
   }
 }
 
@@ -54,7 +58,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--list") == 0) {
-      list_presets();
+      list_presets(stdout);
       return 0;
     } else if (std::strncmp(arg, "--scenario=", 11) == 0) {
       scenario_name = arg + 11;
@@ -67,6 +71,8 @@ int main(int argc, char** argv) {
           std::strtoul(arg + 10, nullptr, 10));
     } else if (std::strncmp(arg, "--chunk=", 8) == 0) {
       options.chunk_size = std::strtoull(arg + 8, nullptr, 10);
+    } else if (std::strcmp(arg, "--no-reuse") == 0) {
+      options.reuse_deployments = false;
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {
       csv_path = arg + 6;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
@@ -76,20 +82,35 @@ int main(int argc, char** argv) {
     } else {
       std::printf(
           "usage: %s [--list] [--scenario=NAME] [--seed=N] [--trials=N]\n"
-          "          [--threads=N] [--chunk=N] [--csv=PATH] [--json=PATH]\n"
-          "          [--bench-json=PATH]\n"
+          "          [--threads=N] [--chunk=N] [--no-reuse] [--csv=PATH]\n"
+          "          [--json=PATH] [--bench-json=PATH]\n"
           "  --threads=0 uses all hardware threads (default)\n"
-          "  --bench-json also runs 1-thread, checks the aggregates are\n"
-          "  bit-identical, and writes a trials/sec perf snapshot\n",
+          "  --no-reuse rebuilds the deployment for every trial instead\n"
+          "  of reset-and-reseeding the worker's pooled one (identical\n"
+          "  aggregates, slower; the escape hatch for A/B timing)\n"
+          "  --bench-json re-runs at 1 thread with and without reuse,\n"
+          "  checks all aggregates are bit-identical, and writes a\n"
+          "  trials/sec perf snapshot\n",
           argv[0]);
       return std::strcmp(arg, "--help") == 0 ? 0 : 1;
     }
   }
 
+  if (!bench_json_path.empty() && !options.reuse_deployments) {
+    // The snapshot's "parallel" section is defined as N threads WITH
+    // reuse; honoring --no-reuse there would record an inconsistent
+    // trajectory (the no-reuse measurement has its own section).
+    std::fprintf(stderr,
+                 "note: --bench-json measures the no-reuse case itself; "
+                 "ignoring --no-reuse for the main run\n");
+    options.reuse_deployments = true;
+  }
+
   const campaign::Scenario* scenario = campaign::find_scenario(scenario_name);
   if (!scenario) {
-    std::fprintf(stderr, "unknown scenario '%s'; --list shows presets\n",
+    std::fprintf(stderr, "unknown scenario '%s'; valid presets:\n\n",
                  scenario_name.c_str());
+    list_presets(stderr);
     return 1;
   }
   if (options.threads == 0) {
@@ -111,19 +132,40 @@ int main(int argc, char** argv) {
   if (!bench_json_path.empty()) {
     campaign::CampaignOptions serial_options = options;
     serial_options.threads = 1;
+    serial_options.reuse_deployments = true;
     const auto serial = campaign::run_campaign(*scenario, serial_options);
+
+    campaign::CampaignOptions no_reuse_options = serial_options;
+    no_reuse_options.reuse_deployments = false;
+    const auto no_reuse = campaign::run_campaign(*scenario, no_reuse_options);
+
+    // Determinism self-checks: the worker pool must not change aggregates
+    // (1 vs N threads), and neither may deployment reuse (reset-and-
+    // reseeded deployments vs freshly constructed ones).
     if (!aggregates_identical(serial, result)) {
       std::fprintf(stderr,
                    "FATAL: 1-thread and %u-thread aggregates differ\n",
                    options.threads);
       return 1;
     }
+    if (!aggregates_identical(no_reuse, serial)) {
+      std::fprintf(stderr,
+                   "FATAL: reused and fresh-construction aggregates "
+                   "differ\n");
+      return 1;
+    }
     std::printf("\n  determinism: %u-thread aggregates bit-identical to "
                 "1-thread\n", options.threads);
-    std::printf("  serial %.1f trials/s, parallel %.1f trials/s\n",
-                serial.trials_per_second(), result.trials_per_second());
+    std::printf("  determinism: deployment reuse bit-identical to fresh "
+                "construction\n");
+    std::printf("  no-reuse %.1f trials/s, reuse %.1f trials/s "
+                "(%zu built + %zu reused), parallel %.1f trials/s\n",
+                no_reuse.trials_per_second(), serial.trials_per_second(),
+                serial.deployments_built, serial.deployments_reused,
+                result.trials_per_second());
     if (!campaign::write_file(
-            bench_json_path, campaign::perf_snapshot_json(serial, result))) {
+            bench_json_path,
+            campaign::perf_snapshot_json(no_reuse, serial, result))) {
       return 1;
     }
   }

@@ -14,11 +14,30 @@ ActiveAdversaryNode::ActiveAdversaryNode(const ActiveAdversaryConfig& config,
       modulator_(config.fsk),
       receiver_(config.fsk),
       tx_amplitude_(std::sqrt(dsp::dbm_to_mw(config.tx_power_dbm))) {
+  register_with_medium(medium);
+}
+
+void ActiveAdversaryNode::register_with_medium(channel::Medium& medium) {
   channel::AntennaDesc desc;
   desc.name = config_.name + "/antenna";
   desc.position = config_.position;
   desc.walls = config_.walls;
   antenna_ = medium.add_antenna(desc);
+}
+
+void ActiveAdversaryNode::reset(const ActiveAdversaryConfig& config,
+                                channel::Medium& medium,
+                                sim::EventLog* log) {
+  config_ = config;
+  log_ = log;
+  modulator_ = phy::FskModulator(config.fsk);
+  receiver_ = phy::FskReceiver(config.fsk);
+  tx_ = sim::TransmitScheduler();
+  tx_amplitude_ = std::sqrt(dsp::dbm_to_mw(config.tx_power_dbm));
+  recordings_.clear();
+  next_allowed_sample_ = 0;
+  next_block_start_ = 0;
+  register_with_medium(medium);
 }
 
 void ActiveAdversaryNode::set_tx_power_dbm(double dbm) {

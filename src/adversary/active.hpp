@@ -37,6 +37,13 @@ class ActiveAdversaryNode : public sim::RadioNode {
   ActiveAdversaryNode(const ActiveAdversaryConfig& config,
                       channel::Medium& medium, sim::EventLog* log);
 
+  /// Returns the node to the state a fresh `ActiveAdversaryNode(config,
+  /// medium, log)` would have, re-registering its antenna with `medium`
+  /// (which the caller has just reset). The new config may move the
+  /// adversary; campaign trial-pool hook.
+  void reset(const ActiveAdversaryConfig& config, channel::Medium& medium,
+             sim::EventLog* log);
+
   void produce(const sim::StepContext& ctx, channel::Medium& medium) override;
   void consume(const sim::StepContext& ctx, channel::Medium& medium) override;
   std::string_view name() const override { return config_.name; }
@@ -67,6 +74,8 @@ class ActiveAdversaryNode : public sim::RadioNode {
   double tx_power_dbm() const { return config_.tx_power_dbm; }
 
  private:
+  void register_with_medium(channel::Medium& medium);
+
   ActiveAdversaryConfig config_;
   channel::AntennaId antenna_;
   sim::EventLog* log_;

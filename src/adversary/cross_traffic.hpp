@@ -29,6 +29,12 @@ class CrossTrafficNode : public sim::RadioNode {
   CrossTrafficNode(const CrossTrafficConfig& config, channel::Medium& medium,
                    std::uint64_t seed);
 
+  /// Returns the node to the state a fresh `CrossTrafficNode(config,
+  /// medium, seed)` would have, re-registering its antenna with `medium`
+  /// (which the caller has just reset); campaign trial-pool hook.
+  void reset(const CrossTrafficConfig& config, channel::Medium& medium,
+             std::uint64_t seed);
+
   void produce(const sim::StepContext& ctx, channel::Medium& medium) override;
   void consume(const sim::StepContext& ctx, channel::Medium& medium) override;
   std::string_view name() const override { return config_.name; }
@@ -42,6 +48,8 @@ class CrossTrafficNode : public sim::RadioNode {
   std::size_t frames_sent() const { return frames_sent_; }
 
  private:
+  void register_with_medium(channel::Medium& medium);
+
   CrossTrafficConfig config_;
   channel::AntennaId antenna_;
   dsp::Rng rng_;

@@ -4,12 +4,26 @@ namespace hs::adversary {
 
 MonitorNode::MonitorNode(const MonitorConfig& config, channel::Medium& medium)
     : config_(config), receiver_(config.fsk) {
+  register_with_medium(medium);
+}
+
+void MonitorNode::register_with_medium(channel::Medium& medium) {
   channel::AntennaDesc desc;
   desc.name = config_.name + "/antenna";
   desc.position = config_.position;
   desc.walls = config_.walls;
   desc.body_loss_db = config_.body_loss_db;
   antenna_ = medium.add_antenna(desc);
+}
+
+void MonitorNode::reset(const MonitorConfig& config,
+                        channel::Medium& medium) {
+  config_ = config;
+  receiver_ = phy::FskReceiver(config.fsk);
+  frames_.clear();
+  capture_.clear();
+  capture_start_ = 0;
+  register_with_medium(medium);
 }
 
 void MonitorNode::produce(const sim::StepContext&, channel::Medium&) {
@@ -23,6 +37,7 @@ void MonitorNode::consume(const sim::StepContext& ctx,
     if (capture_.empty()) capture_start_ = ctx.block_start_sample();
     capture_.insert(capture_.end(), rx.begin(), rx.end());
   }
+  if (!config_.decode_enabled) return;
   receiver_.push(rx);
   while (auto frame = receiver_.pop()) {
     frames_.push_back(std::move(*frame));

@@ -26,11 +26,22 @@ struct MonitorConfig {
   phy::FskParams fsk{};
   bool capture_samples = false;
   std::size_t capture_limit = 1 << 22;  ///< max samples retained
+  /// Run the streaming frame receiver on every block. Capture-only
+  /// monitors (the eavesdropper front end, which is decoded offline with
+  /// genie timing) disable this: it never affects the medium or any other
+  /// node, only this monitor's frames() output.
+  bool decode_enabled = true;
 };
 
 class MonitorNode : public sim::RadioNode {
  public:
   MonitorNode(const MonitorConfig& config, channel::Medium& medium);
+
+  /// Returns the node to the state a fresh `MonitorNode(config, medium)`
+  /// would have, re-registering its antenna with `medium` (which the
+  /// caller has just reset). The new config may move the monitor — the
+  /// campaign trial pool reuses one eavesdropper across sweep points.
+  void reset(const MonitorConfig& config, channel::Medium& medium);
 
   void produce(const sim::StepContext& ctx, channel::Medium& medium) override;
   void consume(const sim::StepContext& ctx, channel::Medium& medium) override;
@@ -50,6 +61,8 @@ class MonitorNode : public sim::RadioNode {
   std::size_t capture_start() const { return capture_start_; }
 
  private:
+  void register_with_medium(channel::Medium& medium);
+
   MonitorConfig config_;
   channel::AntennaId antenna_;
   phy::FskReceiver receiver_;

@@ -150,28 +150,42 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
-std::string perf_snapshot_json(const CampaignResult& serial,
-                               const CampaignResult& parallel) {
-  char buf[768];
-  const double speedup = serial.wall_seconds > 0.0 && parallel.wall_seconds > 0.0
-                             ? serial.wall_seconds / parallel.wall_seconds
-                             : 0.0;
-  std::snprintf(buf, sizeof buf,
-                "{\n"
-                "  \"bench\": \"campaign_runner\",\n"
-                "  \"scenario\": \"%s\",\n"
-                "  \"seed\": %" PRIu64 ",\n"
-                "  \"total_trials\": %zu,\n"
-                "  \"serial\": {\"threads\": 1, \"wall_seconds\": %.6f, "
-                "\"trials_per_second\": %.3f},\n"
-                "  \"parallel\": {\"threads\": %u, \"wall_seconds\": %.6f, "
-                "\"trials_per_second\": %.3f},\n"
-                "  \"speedup\": %.3f\n"
-                "}\n",
-                serial.scenario.name.c_str(), serial.options.seed,
-                serial.total_trials, serial.wall_seconds,
-                serial.trials_per_second(), parallel.options.threads,
-                parallel.wall_seconds, parallel.trials_per_second(), speedup);
+std::string perf_snapshot_json(const CampaignResult& serial_no_reuse,
+                               const CampaignResult& serial_reuse,
+                               const CampaignResult& parallel_reuse) {
+  const auto ratio = [](const CampaignResult& a, const CampaignResult& b) {
+    return a.wall_seconds > 0.0 && b.wall_seconds > 0.0
+               ? a.wall_seconds / b.wall_seconds
+               : 0.0;
+  };
+  char buf[1280];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\n"
+      "  \"bench\": \"campaign_runner\",\n"
+      "  \"scenario\": \"%s\",\n"
+      "  \"seed\": %" PRIu64 ",\n"
+      "  \"total_trials\": %zu,\n"
+      "  \"serial_no_reuse\": {\"threads\": 1, \"wall_seconds\": %.6f, "
+      "\"trials_per_second\": %.3f},\n"
+      "  \"serial\": {\"threads\": 1, \"wall_seconds\": %.6f, "
+      "\"trials_per_second\": %.3f, \"deployments_built\": %zu, "
+      "\"deployments_reused\": %zu},\n"
+      "  \"parallel\": {\"threads\": %u, \"wall_seconds\": %.6f, "
+      "\"trials_per_second\": %.3f},\n"
+      "  \"reuse_speedup\": %.3f,\n"
+      "  \"thread_speedup\": %.3f,\n"
+      "  \"speedup\": %.3f\n"
+      "}\n",
+      serial_no_reuse.scenario.name.c_str(), serial_no_reuse.options.seed,
+      serial_no_reuse.total_trials, serial_no_reuse.wall_seconds,
+      serial_no_reuse.trials_per_second(), serial_reuse.wall_seconds,
+      serial_reuse.trials_per_second(), serial_reuse.deployments_built,
+      serial_reuse.deployments_reused, parallel_reuse.options.threads,
+      parallel_reuse.wall_seconds, parallel_reuse.trials_per_second(),
+      ratio(serial_no_reuse, serial_reuse),
+      ratio(serial_reuse, parallel_reuse),
+      ratio(serial_no_reuse, parallel_reuse));
   return std::string(buf);
 }
 

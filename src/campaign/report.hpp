@@ -1,5 +1,8 @@
-// CSV / JSON report emitters for campaign results, plus the perf-snapshot
-// writer that records the bench trajectory (trials/sec at 1 vs N threads).
+/// @file
+/// CSV / JSON report emitters for campaign results, plus the
+/// perf-snapshot writer that records the bench trajectory: trials/sec
+/// without deployment reuse, with reuse, and with reuse across N
+/// threads. The emitted schemas are documented in docs/REPRODUCING.md.
 #pragma once
 
 #include <cstdio>
@@ -23,9 +26,13 @@ void print_summary(std::FILE* out, const CampaignResult& result);
 /// failure.
 bool write_file(const std::string& path, const std::string& content);
 
-/// Perf snapshot comparing a 1-thread and an N-thread run of the same
-/// campaign, as JSON ("BENCH_campaign.json" trajectory format).
-std::string perf_snapshot_json(const CampaignResult& serial,
-                               const CampaignResult& parallel);
+/// Perf snapshot comparing three runs of the same campaign — 1 thread
+/// without deployment reuse, 1 thread with reuse, N threads with reuse —
+/// as JSON ("BENCH_campaign.json" trajectory format). `reuse_speedup` is
+/// the batched-deployment-reuse win; `thread_speedup` the worker-pool
+/// win on top of it.
+std::string perf_snapshot_json(const CampaignResult& serial_no_reuse,
+                               const CampaignResult& serial_reuse,
+                               const CampaignResult& parallel_reuse);
 
 }  // namespace hs::campaign

@@ -3,23 +3,34 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <thread>
 
+#include "dsp/correlate.hpp"
 #include "dsp/rng.hpp"
 #include "dsp/spectrum.hpp"
+#include "dsp/units.hpp"
 #include "imd/programmer.hpp"
 #include "imd/protocol.hpp"
+#include "mics/band.hpp"
+#include "mics/channelizer.hpp"
 #include "phy/frame.hpp"
 #include "phy/fsk.hpp"
+#include "shield/antidote.hpp"
 #include "shield/calibrate.hpp"
 #include "shield/deployment.hpp"
 #include "shield/experiments.hpp"
 #include "shield/jamgen.hpp"
+#include "shield/multitap_antidote.hpp"
+#include "shield/trial_context.hpp"
+#include "shield/wideband.hpp"
 
 namespace hs::campaign {
 
 namespace {
+
+using dsp::Samples;
 
 void emit(std::vector<TrialSample>& out, Metric metric, double value) {
   out.push_back(TrialSample{metric, value});
@@ -41,7 +52,8 @@ int axis_location(const Scenario& s, double axis_value) {
 
 std::vector<TrialSample> run_eavesdrop_trial(const Scenario& s,
                                              double axis_value,
-                                             std::uint64_t seed) {
+                                             std::uint64_t seed,
+                                             shield::TrialContext& pool) {
   std::vector<TrialSample> out;
   std::vector<int> locations = s.adversary_locations;
   if (s.axis == SweepAxis::kLocation) {
@@ -68,7 +80,7 @@ std::vector<TrialSample> run_eavesdrop_trial(const Scenario& s,
     opt.hardware_error_sigma = s.axis == SweepAxis::kHardwareErrorSigma
                                    ? axis_value
                                    : s.hardware_error_sigma;
-    const auto result = shield::run_eavesdrop_experiment(opt);
+    const auto result = shield::run_eavesdrop_experiment(opt, &pool);
     if (a == 0) {
       best_ber = result.eavesdropper_ber;
       packet_loss = result.shield_packet_loss();
@@ -87,7 +99,8 @@ std::vector<TrialSample> run_eavesdrop_trial(const Scenario& s,
 
 std::vector<TrialSample> run_attack_trial(const Scenario& s,
                                           double axis_value,
-                                          std::uint64_t seed) {
+                                          std::uint64_t seed,
+                                          shield::TrialContext& pool) {
   std::vector<TrialSample> out;
   bool success = false;
   bool alarm = false;
@@ -106,7 +119,7 @@ std::vector<TrialSample> run_attack_trial(const Scenario& s,
                              ? axis_value
                              : s.extra_power_db;
     opt.kind = s.attack_kind;
-    const auto result = shield::run_attack_experiment(opt);
+    const auto result = shield::run_attack_experiment(opt, &pool);
     success = success || result.successes > 0;
     alarm = alarm || result.alarms > 0;
     battery_mj += result.battery_energy_spent_mj;
@@ -119,13 +132,14 @@ std::vector<TrialSample> run_attack_trial(const Scenario& s,
 
 std::vector<TrialSample> run_coexistence_trial(const Scenario& s,
                                                double axis_value,
-                                               std::uint64_t seed) {
+                                               std::uint64_t seed,
+                                               shield::TrialContext& pool) {
   std::vector<TrialSample> out;
   shield::CoexistenceOptions opt;
   opt.seed = seed;
   opt.location_indices = {axis_location(s, axis_value)};
   opt.rounds_per_location = s.units_per_trial;
-  const auto result = shield::run_coexistence_experiment(opt);
+  const auto result = shield::run_coexistence_experiment(opt, &pool);
   emit_indicator(out, Metric::kCrossTrafficJammed,
                  result.cross_frames_jammed, result.cross_frames_sent);
   emit_indicator(out, Metric::kImdCommandJammed,
@@ -138,7 +152,8 @@ std::vector<TrialSample> run_coexistence_trial(const Scenario& s,
 
 std::vector<TrialSample> run_pthresh_trial(const Scenario& s,
                                            double axis_value,
-                                           std::uint64_t seed) {
+                                           std::uint64_t seed,
+                                           shield::TrialContext& pool) {
   std::vector<TrialSample> out;
   const double power_dbm = s.axis == SweepAxis::kAdversaryPowerDbm
                                ? axis_value
@@ -146,7 +161,7 @@ std::vector<TrialSample> run_pthresh_trial(const Scenario& s,
   const int location =
       s.adversary_locations.empty() ? 1 : s.adversary_locations.front();
   const auto result = shield::measure_pthresh(
-      seed, location, power_dbm, power_dbm, 1.0, s.units_per_trial);
+      seed, location, power_dbm, power_dbm, 1.0, s.units_per_trial, &pool);
   emit_indicator(out, Metric::kPthreshSuccess, result.successes,
                  s.units_per_trial);
   for (double rssi : result.success_rssi_dbm) {
@@ -160,18 +175,18 @@ std::vector<TrialSample> run_pthresh_trial(const Scenario& s,
 /// reply window. Returns seconds, or a negative value if the IMD stayed
 /// silent.
 double measure_reply_delay(const Scenario& s, std::uint64_t seed,
-                           bool occupy_medium) {
+                           bool occupy_medium,
+                           shield::TrialContext& pool) {
   shield::DeploymentOptions opt;
   opt.seed = seed;
   opt.imd_profile = s.imd_profiles.empty() ? imd::virtuoso_profile()
                                            : s.imd_profiles.front();
   opt.shield_present = false;  // raw IMD/programmer interaction
-  shield::Deployment d(opt);
+  shield::Deployment& d = pool.deployment(opt);
 
   imd::ProgrammerConfig pcfg;
   pcfg.fsk = opt.imd_profile.fsk;
-  imd::ProgrammerNode programmer(pcfg, d.medium(), &d.log());
-  d.add_node(&programmer);
+  imd::ProgrammerNode& programmer = pool.programmer(pcfg);
   d.run_for(1e-3);
 
   const double fs = opt.imd_profile.fsk.fs;
@@ -200,10 +215,11 @@ double measure_reply_delay(const Scenario& s, std::uint64_t seed,
 }
 
 std::vector<TrialSample> run_timing_trial(const Scenario& s,
-                                          std::uint64_t seed) {
+                                          std::uint64_t seed,
+                                          shield::TrialContext& pool) {
   std::vector<TrialSample> out;
-  const double idle = measure_reply_delay(s, seed, false);
-  const double busy = measure_reply_delay(s, seed, true);
+  const double idle = measure_reply_delay(s, seed, false, pool);
+  const double busy = measure_reply_delay(s, seed, true, pool);
   if (idle > 0) emit(out, Metric::kReplyDelayIdleMs, idle * 1e3);
   if (busy > 0) emit(out, Metric::kReplyDelayBusyMs, busy * 1e3);
   return out;
@@ -211,7 +227,8 @@ std::vector<TrialSample> run_timing_trial(const Scenario& s,
 
 std::vector<TrialSample> run_cancellation_trial(const Scenario& s,
                                                 double axis_value,
-                                                std::uint64_t seed) {
+                                                std::uint64_t seed,
+                                                shield::TrialContext& pool) {
   std::vector<TrialSample> out;
   shield::DeploymentOptions opt;
   opt.seed = seed;
@@ -220,8 +237,120 @@ std::vector<TrialSample> run_cancellation_trial(const Scenario& s,
   } else if (s.hardware_error_sigma > 0.0) {
     opt.shield_config.hardware_error_sigma = s.hardware_error_sigma;
   }
-  shield::Deployment d(opt);
+  shield::Deployment& d = pool.deployment(opt);
   emit(out, Metric::kCancellationDb, shield::measure_cancellation_db(d));
+  return out;
+}
+
+/// Section 5 footnote 2 extension: how the scalar antidote collapses, and
+/// a 64-tap FIR equalizer holds, as the jam->rec coupling grows a second
+/// multipath tap `axis_value` dB below the first.
+Samples convolve(dsp::SampleView h, dsp::SampleView x) {
+  Samples y(x.size(), dsp::cplx{});
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    for (std::size_t k = 0; k < h.size() && k <= n; ++k) {
+      y[n] += h[k] * x[n - k];
+    }
+  }
+  return y;
+}
+
+double multipath_cancellation_db(dsp::SampleView hjr, dsp::SampleView hself,
+                                 dsp::SampleView jam,
+                                 dsp::SampleView antidote) {
+  const auto air = convolve(hjr, jam);
+  const auto wire = convolve(hself, antidote);
+  double jam_power = 0, residual = 0;
+  for (std::size_t n = 128; n < air.size(); ++n) {
+    jam_power += std::norm(air[n]);
+    residual += std::norm(air[n] + wire[n]);
+  }
+  return 10.0 * std::log10(jam_power / std::max(residual, 1e-30));
+}
+
+std::vector<TrialSample> run_multipath_trial(const Scenario& s,
+                                             double axis_value,
+                                             std::uint64_t seed,
+                                             shield::TrialContext& pool) {
+  std::vector<TrialSample> out;
+  (void)s;
+  dsp::Rng rng(seed);
+  Samples probe(1024);
+  for (auto& x : probe) x = rng.random_phase();
+  const Samples hself = {dsp::cplx{0.7, 0.0}};
+
+  phy::FskParams fsk;
+  shield::JammingSignalGenerator& gen =
+      pool.jamgen(fsk, shield::JamProfile::kShaped, seed);
+  gen.set_power(1.0);
+  const auto jam = gen.next(1 << 14);
+
+  const double mag = 0.03 * std::pow(10.0, axis_value / 20.0);
+  const Samples hjr = {dsp::cplx{0.03, 0.0}, dsp::cplx{0.0, mag}};
+
+  shield::AntidoteController flat(0.0, seed);
+  flat.update_jam_channel(
+      dsp::estimate_flat_channel(convolve(hjr, probe), probe));
+  flat.update_self_channel(
+      dsp::estimate_flat_channel(convolve(hself, probe), probe));
+  Samples flat_x(jam.size());
+  const dsp::cplx coeff = flat.antidote_coefficient();
+  for (std::size_t i = 0; i < jam.size(); ++i) flat_x[i] = coeff * jam[i];
+
+  shield::MultitapAntidote multitap(4, 64);
+  multitap.update_jam_channel(convolve(hjr, probe), probe);
+  multitap.update_self_channel(convolve(hself, probe), probe);
+  const auto fir_x = multitap.antidote_for(jam);
+
+  emit(out, Metric::kScalarCancellationDb,
+       multipath_cancellation_db(hjr, hself, jam, flat_x));
+  emit(out, Metric::kMultitapCancellationDb,
+       multipath_cancellation_db(hjr, hself, jam, fir_x));
+  return out;
+}
+
+/// Section 7(c) extension: an adversary hops its command to the MICS
+/// channel `axis_value`; the 3 MHz whole-band monitor must flag it, and
+/// the reaction point (ms into the packet) bounds how much of the packet
+/// remains jammable.
+std::vector<TrialSample> run_wideband_trial(const Scenario& s,
+                                            double axis_value,
+                                            std::uint64_t seed) {
+  std::vector<TrialSample> out;
+  const auto profile = s.imd_profiles.empty() ? imd::virtuoso_profile()
+                                              : s.imd_profiles.front();
+  const std::size_t channel = static_cast<std::size_t>(axis_value);
+  const auto cmd = imd::make_interrogate(profile.serial, 1);
+  const auto wave = phy::fsk_modulate(profile.fsk, phy::encode_frame(cmd));
+
+  shield::WidebandMonitor monitor(profile.serial, profile.fsk);
+  dsp::Samples baseband(2400 + wave.size() + 1200, dsp::cplx{});
+  const double amp = dsp::db_to_amplitude(-45.0);
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    baseband[2400 + i] = amp * wave[i];
+  }
+  mics::ChannelSynthesizer synth;
+  dsp::Samples wideband(baseband.size() * mics::kDecimation, dsp::cplx{});
+  synth.process(channel, baseband, wideband);
+  dsp::Rng rng(seed, "wideband-noise");
+  for (auto& x : wideband) x += rng.cgaussian(dsp::dbm_to_mw(-112.0));
+
+  // Stream block-wise; note when the jam decision fires. The packet
+  // starts at wideband sample 2400 * kDecimation.
+  bool detected = false;
+  for (std::size_t i = 0; i < wideband.size() && !detected; i += 480) {
+    const std::size_t n = std::min<std::size_t>(480, wideband.size() - i);
+    monitor.push(dsp::SampleView(wideband.data() + i, n));
+    if (monitor.any_match()) {
+      detected = true;
+      const double reaction_s =
+          (static_cast<double>(i + n) -
+           static_cast<double>(2400 * mics::kDecimation)) /
+          mics::kWidebandFs;
+      emit(out, Metric::kWidebandReactionMs, reaction_s * 1e3);
+    }
+  }
+  emit(out, Metric::kWidebandDetect, detected ? 1.0 : 0.0);
   return out;
 }
 
@@ -285,23 +414,30 @@ std::uint64_t trial_seed(std::uint64_t campaign_seed,
 
 std::vector<TrialSample> run_trial(const Scenario& scenario,
                                    std::size_t point_index,
-                                   double axis_value, std::uint64_t seed) {
+                                   double axis_value, std::uint64_t seed,
+                                   shield::TrialContext* context) {
   (void)point_index;
+  shield::TrialContext scratch;
+  shield::TrialContext& pool = context != nullptr ? *context : scratch;
   switch (scenario.kind) {
     case ExperimentKind::kEavesdrop:
-      return run_eavesdrop_trial(scenario, axis_value, seed);
+      return run_eavesdrop_trial(scenario, axis_value, seed, pool);
     case ExperimentKind::kActiveAttack:
-      return run_attack_trial(scenario, axis_value, seed);
+      return run_attack_trial(scenario, axis_value, seed, pool);
     case ExperimentKind::kCoexistence:
-      return run_coexistence_trial(scenario, axis_value, seed);
+      return run_coexistence_trial(scenario, axis_value, seed, pool);
     case ExperimentKind::kPthresh:
-      return run_pthresh_trial(scenario, axis_value, seed);
+      return run_pthresh_trial(scenario, axis_value, seed, pool);
     case ExperimentKind::kImdTiming:
-      return run_timing_trial(scenario, seed);
+      return run_timing_trial(scenario, seed, pool);
     case ExperimentKind::kCancellation:
-      return run_cancellation_trial(scenario, axis_value, seed);
+      return run_cancellation_trial(scenario, axis_value, seed, pool);
     case ExperimentKind::kSpectrum:
       return run_spectrum_trial(scenario, seed);
+    case ExperimentKind::kMultipathAntidote:
+      return run_multipath_trial(scenario, axis_value, seed, pool);
+    case ExperimentKind::kWideband:
+      return run_wideband_trial(scenario, axis_value, seed);
   }
   return {};
 }
@@ -344,7 +480,15 @@ CampaignResult run_campaign(const Scenario& scenario,
   result.options.threads = thread_count;
 
   std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> deployments_built{0};
+  std::atomic<std::size_t> deployments_reused{0};
   const auto worker = [&]() {
+    // One trial-context pool per worker: deployments and experiment nodes
+    // are reset-and-reseeded between this worker's trials instead of
+    // reconstructed (bit-identical either way; see trial_context.hpp).
+    shield::TrialContext pool;
+    shield::TrialContext* context =
+        options.reuse_deployments ? &pool : nullptr;
     for (;;) {
       const std::size_t c = next_chunk.fetch_add(1);
       if (c >= chunks.size()) break;
@@ -354,13 +498,15 @@ CampaignResult run_campaign(const Scenario& scenario,
         const std::uint64_t seed = trial_seed(options.seed, scenario.name,
                                               chunk.point_index, t);
         const auto samples =
-            run_trial(scenario, chunk.point_index, axis_value, seed);
+            run_trial(scenario, chunk.point_index, axis_value, seed, context);
         for (const auto& sample : samples) {
           chunk_stats[c][static_cast<std::size_t>(sample.metric)].add(
               sample.value);
         }
       }
     }
+    deployments_built.fetch_add(pool.deployments_built());
+    deployments_reused.fetch_add(pool.deployments_reused());
   };
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -382,6 +528,8 @@ CampaignResult run_campaign(const Scenario& scenario,
     }
   }
   result.total_trials = point_count * trials;
+  result.deployments_built = deployments_built.load();
+  result.deployments_reused = deployments_reused.load();
   return result;
 }
 

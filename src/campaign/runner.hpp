@@ -1,11 +1,18 @@
-// Parallel Monte Carlo campaign runner.
-//
-// Expands a Scenario's sweep axis into points, fans (point, trial) work
-// units over a std::thread pool, and aggregates per-point statistics.
-// Determinism: every trial's seed is derived from (campaign seed, scenario
-// name, point index, trial index) through the named-substream Rng, and
-// chunk accumulators are merged in fixed chunk order — so 1-thread and
-// N-thread runs produce bit-identical aggregates.
+/// @file
+/// Parallel Monte Carlo campaign runner.
+///
+/// Expands a Scenario's sweep axis into points, fans (point, trial) work
+/// units over a std::thread pool, and aggregates per-point statistics.
+/// Determinism: every trial's seed is derived from (campaign seed,
+/// scenario name, point index, trial index) through the named-substream
+/// Rng, and chunk accumulators are merged in fixed chunk order — so
+/// 1-thread and N-thread runs produce bit-identical aggregates.
+///
+/// Each worker owns a shield::TrialContext: deployments and experiment
+/// nodes are reset-and-reseeded between trials instead of reconstructed
+/// (reused trials are bit-identical to fresh ones; see trial_context.hpp).
+/// CampaignOptions::reuse_deployments — the CLI's `--no-reuse` — turns
+/// the pool off.
 #pragma once
 
 #include <array>
@@ -16,6 +23,10 @@
 
 #include "campaign/scenario.hpp"
 #include "campaign/stats.hpp"
+
+namespace hs::shield {
+class TrialContext;
+}  // namespace hs::shield
 
 namespace hs::campaign {
 
@@ -30,6 +41,10 @@ struct CampaignOptions {
   /// One trial per chunk maximizes parallelism (a trial simulates a full
   /// deployment, so accumulator merge overhead is negligible).
   std::size_t chunk_size = 1;
+  /// Reuse each worker's deployment across trials (reset + reseed) rather
+  /// than reconstructing it per trial. Aggregates are bit-identical
+  /// either way; false is the `--no-reuse` escape hatch.
+  bool reuse_deployments = true;
 };
 
 /// Aggregates for one sweep point.
@@ -49,6 +64,10 @@ struct CampaignResult {
   std::vector<PointResult> points;
   std::size_t total_trials = 0;
   double wall_seconds = 0.0;
+  /// Trial-context pool effectiveness, summed over workers (reused stays
+  /// 0 with reuse_deployments off or for kinds that need no deployment).
+  std::size_t deployments_built = 0;
+  std::size_t deployments_reused = 0;
 
   double trials_per_second() const {
     return wall_seconds > 0.0
@@ -69,10 +88,14 @@ struct TrialSample {
 };
 
 /// Executes one trial of the scenario at the given sweep point (exposed
-/// for tests; run_campaign is the normal entry point).
+/// for tests; run_campaign is the normal entry point). With a
+/// TrialContext the deployment and experiment nodes come from the pool —
+/// bit-identical results, cheaper setup; with nullptr everything is
+/// built fresh.
 std::vector<TrialSample> run_trial(const Scenario& scenario,
                                    std::size_t point_index,
-                                   double axis_value, std::uint64_t seed);
+                                   double axis_value, std::uint64_t seed,
+                                   shield::TrialContext* context = nullptr);
 
 /// Runs the full campaign on the configured worker pool.
 CampaignResult run_campaign(const Scenario& scenario,

@@ -3,6 +3,7 @@
 #include <array>
 
 #include "channel/geometry.hpp"
+#include "mics/band.hpp"
 
 namespace hs::campaign {
 
@@ -52,6 +53,8 @@ std::vector<Scenario> build_presets() {
     Scenario s;
     s.name = "fig3-imd-timing";
     s.paper_ref = "Figure 3";
+    s.description = "IMD reply delay with the medium idle vs kept busy "
+                    "(no carrier sense)";
     s.kind = ExperimentKind::kImdTiming;
     s.default_trials = 20;
     presets.push_back(std::move(s));
@@ -62,6 +65,8 @@ std::vector<Scenario> build_presets() {
     Scenario s;
     s.name = "fig4-fsk-profile";
     s.paper_ref = "Figure 4";
+    s.description = "fraction of the IMD's FSK power near the +-50 kHz "
+                    "tones";
     s.kind = ExperimentKind::kSpectrum;
     s.spectrum_of_jammer = false;
     s.default_trials = 8;
@@ -71,6 +76,8 @@ std::vector<Scenario> build_presets() {
     Scenario s;
     s.name = "fig5-jam-shaped";
     s.paper_ref = "Figure 5";
+    s.description = "tone-band power fraction of the shaped jamming "
+                    "profile";
     s.kind = ExperimentKind::kSpectrum;
     s.spectrum_of_jammer = true;
     s.jam_profile = shield::JamProfile::kShaped;
@@ -81,6 +88,8 @@ std::vector<Scenario> build_presets() {
     Scenario s;
     s.name = "fig5-jam-constant";
     s.paper_ref = "Figure 5";
+    s.description = "tone-band power fraction of the oblivious constant "
+                    "jamming profile";
     s.kind = ExperimentKind::kSpectrum;
     s.spectrum_of_jammer = true;
     s.jam_profile = shield::JamProfile::kConstant;
@@ -93,6 +102,8 @@ std::vector<Scenario> build_presets() {
     Scenario s;
     s.name = "fig7-cancellation";
     s.paper_ref = "Figure 7";
+    s.description = "antidote cancellation depth at the shield's receive "
+                    "antenna (~32 dB)";
     s.kind = ExperimentKind::kCancellation;
     s.default_trials = 200;
     presets.push_back(std::move(s));
@@ -101,6 +112,8 @@ std::vector<Scenario> build_presets() {
   // --- Fig. 8: BER/PER vs relative jamming power ---------------------------
   {
     auto s = eavesdrop_base("fig8-tradeoff", "Figures 8(a), 8(b)");
+    s.description = "adversary BER vs shield packet loss across jamming "
+                    "margins";
     s.use_margin_override = true;
     s.axis = SweepAxis::kJamMarginDb;
     s.axis_values = linear_range(0.0, 25.0, 2.5);
@@ -111,6 +124,7 @@ std::vector<Scenario> build_presets() {
   // --- Fig. 9: eavesdropper BER at every testbed location ------------------
   {
     auto s = eavesdrop_base("fig9-eaves-ber", "Figure 9");
+    s.description = "eavesdropper BER (~0.5) at all 18 testbed locations";
     s.axis = SweepAxis::kLocation;
     s.axis_values = location_range(1, all_locations);
     presets.push_back(std::move(s));
@@ -119,6 +133,8 @@ std::vector<Scenario> build_presets() {
   // --- Fig. 10: shield packet loss while jamming ---------------------------
   {
     auto s = eavesdrop_base("fig10-shield-per", "Figure 10");
+    s.description = "shield packet loss decoding through its own jamming "
+                    "(~0.2%)";
     s.units_per_trial = 200;
     s.default_trials = 12;
     presets.push_back(std::move(s));
@@ -127,11 +143,14 @@ std::vector<Scenario> build_presets() {
   // --- Figs. 11-13: active attacks, shield present and absent --------------
   for (bool shield_present : {true, false}) {
     const char* suffix = shield_present ? "" : "-noshield";
+    const char* with = shield_present ? "with" : "without";
     {
       auto s = attack_base(std::string("fig11-trigger") + suffix,
                            "Figure 11",
                            shield::AttackKind::kTriggerTransmission,
                            shield_present);
+      s.description = std::string("battery-depletion trigger attack by "
+                                  "location, ") + with + " the shield";
       s.axis = SweepAxis::kLocation;
       s.axis_values = location_range(1, 14);
       presets.push_back(std::move(s));
@@ -140,6 +159,8 @@ std::vector<Scenario> build_presets() {
       auto s = attack_base(std::string("fig12-therapy") + suffix,
                            "Figure 12", shield::AttackKind::kChangeTherapy,
                            shield_present);
+      s.description = std::string("therapy-modification attack by "
+                                  "location, ") + with + " the shield";
       s.axis = SweepAxis::kLocation;
       s.axis_values = location_range(1, 14);
       presets.push_back(std::move(s));
@@ -148,6 +169,8 @@ std::vector<Scenario> build_presets() {
       auto s = attack_base(std::string("fig13-high-power") + suffix,
                            "Figure 13", shield::AttackKind::kChangeTherapy,
                            shield_present);
+      s.description = std::string("100x-power therapy attack by "
+                                  "location, ") + with + " the shield";
       s.extra_power_db = 20.0;  // the 100x adversary
       s.axis = SweepAxis::kLocation;
       s.axis_values = location_range(1, all_locations);
@@ -160,6 +183,8 @@ std::vector<Scenario> build_presets() {
     Scenario s;
     s.name = "table1-pthresh";
     s.paper_ref = "Table 1";
+    s.description = "adversarial RSSI at the shield that elicits IMD "
+                    "responses despite jamming";
     s.kind = ExperimentKind::kPthresh;
     s.axis = SweepAxis::kAdversaryPowerDbm;
     s.axis_values = linear_range(-16.0, 14.0, 2.0);
@@ -173,6 +198,8 @@ std::vector<Scenario> build_presets() {
     Scenario s;
     s.name = "table2-coexistence";
     s.paper_ref = "Table 2";
+    s.description = "IMD commands jammed, radiosonde cross-traffic spared, "
+                    "turn-around time";
     s.kind = ExperimentKind::kCoexistence;
     s.axis = SweepAxis::kLocation;
     s.axis_values = {1, 3, 5, 7, 9};
@@ -196,6 +223,8 @@ std::vector<Scenario> build_presets() {
     }};
     for (const auto& cell : cells) {
       auto s = eavesdrop_base(cell.name, "Section 6(a), Figure 5");
+      s.description = "shaping ablation: adversary BER for this jammer/"
+                      "decoder pairing";
       s.jam_profile = cell.profile;
       s.bandpass_attack = cell.bandpass;
       s.use_margin_override = true;
@@ -206,12 +235,19 @@ std::vector<Scenario> build_presets() {
     }
   }
 
+  // The antidote-accuracy sweep shared by the SINR-gap and positional
+  // ablations, so their per-sigma rows line up in the joint bench table.
+  const std::vector<double> sigma_sweep = {0.003, 0.01, 0.025,
+                                           0.05, 0.10, 0.30};
+
   // --- SINR-gap ablation: antidote accuracy sweep --------------------------
   {
     auto s = eavesdrop_base("ablate-gap", "Section 6(b), equation 9");
+    s.description = "SINR-gap ablation: adversary BER and shield loss vs "
+                    "antidote accuracy";
     s.use_margin_override = true;
     s.axis = SweepAxis::kHardwareErrorSigma;
-    s.axis_values = {0.003, 0.01, 0.025, 0.05, 0.10, 0.30};
+    s.axis_values = sigma_sweep;
     presets.push_back(std::move(s));
   }
 
@@ -220,9 +256,11 @@ std::vector<Scenario> build_presets() {
     Scenario s;
     s.name = "ablate-positional";
     s.paper_ref = "Sections 1, 5, 12";
+    s.description = "antidote cancellation depth vs hardware accuracy (no "
+                    "antenna separation)";
     s.kind = ExperimentKind::kCancellation;
     s.axis = SweepAxis::kHardwareErrorSigma;
-    s.axis_values = {0.003, 0.025, 0.10, 0.30};
+    s.axis_values = sigma_sweep;
     s.default_trials = 50;
     presets.push_back(std::move(s));
   }
@@ -233,7 +271,38 @@ std::vector<Scenario> build_presets() {
         std::string("ext-battery") + (shield_present ? "" : "-noshield"),
         "Section 10.3 extension",
         shield::AttackKind::kTriggerTransmission, shield_present);
+    s.description = "IMD battery energy an interrogation-flood attack "
+                    "drains at location 3";
     s.adversary_locations = {3};
+    presets.push_back(std::move(s));
+  }
+
+  // --- Extension: scalar vs FIR antidote under multipath -------------------
+  {
+    Scenario s;
+    s.name = "ext-multipath";
+    s.paper_ref = "Section 5 footnote 2";
+    s.description = "scalar vs 64-tap FIR antidote as H_jam->rec grows a "
+                    "second tap";
+    s.kind = ExperimentKind::kMultipathAntidote;
+    s.axis = SweepAxis::kMultipathTapDb;
+    s.axis_values = {-40.0, -30.0, -20.0, -12.0, -6.0, -3.0};
+    s.default_trials = 6;
+    presets.push_back(std::move(s));
+  }
+
+  // --- Extension: whole-band monitoring vs a hopping adversary -------------
+  {
+    Scenario s;
+    s.name = "ext-wideband";
+    s.paper_ref = "Section 7(c)";
+    s.description = "3 MHz monitor detection and reaction point on every "
+                    "MICS channel";
+    s.kind = ExperimentKind::kWideband;
+    s.axis = SweepAxis::kMicsChannel;
+    s.axis_values =
+        location_range(0, static_cast<int>(mics::kChannelCount) - 1);
+    s.default_trials = 3;
     presets.push_back(std::move(s));
   }
 
@@ -241,6 +310,8 @@ std::vector<Scenario> build_presets() {
   {
     auto s = eavesdrop_base("multi-adversary-eaves",
                             "Figure 9 variant: 4 simultaneous eavesdroppers");
+    s.description = "per-packet best-of-4 eavesdropper BER across jamming "
+                    "margins";
     s.adversary_locations = {1, 4, 7, 10};
     s.axis = SweepAxis::kJamMarginDb;
     s.use_margin_override = true;
@@ -253,6 +324,8 @@ std::vector<Scenario> build_presets() {
     auto s = attack_base("multi-imd-trigger",
                          "Figure 11 variant: Virtuoso + Concerto patient",
                          shield::AttackKind::kTriggerTransmission, true);
+    s.description = "trigger attack against a two-IMD patient, shield "
+                    "present";
     s.imd_profiles = {imd::virtuoso_profile(), imd::concerto_profile()};
     s.axis = SweepAxis::kLocation;
     s.axis_values = location_range(1, 8);
@@ -262,6 +335,8 @@ std::vector<Scenario> build_presets() {
     auto s = attack_base("multi-imd-trigger-noshield",
                          "Figure 11 variant: Virtuoso + Concerto patient",
                          shield::AttackKind::kTriggerTransmission, false);
+    s.description = "trigger attack against a two-IMD patient, shield "
+                    "absent";
     s.imd_profiles = {imd::virtuoso_profile(), imd::concerto_profile()};
     s.axis = SweepAxis::kLocation;
     s.axis_values = location_range(1, 8);
@@ -289,6 +364,10 @@ std::string_view metric_name(Metric metric) {
     case Metric::kReplyDelayBusyMs: return "reply_delay_busy_ms";
     case Metric::kCancellationDb: return "cancellation_db";
     case Metric::kToneBandFraction: return "tone_band_fraction";
+    case Metric::kScalarCancellationDb: return "scalar_cancellation_db";
+    case Metric::kMultitapCancellationDb: return "multitap_cancellation_db";
+    case Metric::kWidebandDetect: return "wideband_detect";
+    case Metric::kWidebandReactionMs: return "wideband_reaction_ms";
   }
   return "unknown";
 }
@@ -300,6 +379,7 @@ bool metric_is_indicator(Metric metric) {
     case Metric::kCrossTrafficJammed:
     case Metric::kImdCommandJammed:
     case Metric::kPthreshSuccess:
+    case Metric::kWidebandDetect:
       return true;
     default:
       return false;
@@ -320,6 +400,10 @@ const std::vector<Metric>& metrics_for(ExperimentKind kind) {
                                              Metric::kReplyDelayBusyMs};
   static const std::vector<Metric> cancellation = {Metric::kCancellationDb};
   static const std::vector<Metric> spectrum = {Metric::kToneBandFraction};
+  static const std::vector<Metric> multipath = {
+      Metric::kScalarCancellationDb, Metric::kMultitapCancellationDb};
+  static const std::vector<Metric> wideband = {Metric::kWidebandDetect,
+                                               Metric::kWidebandReactionMs};
   switch (kind) {
     case ExperimentKind::kEavesdrop: return eavesdrop;
     case ExperimentKind::kActiveAttack: return attack;
@@ -328,6 +412,8 @@ const std::vector<Metric>& metrics_for(ExperimentKind kind) {
     case ExperimentKind::kImdTiming: return timing;
     case ExperimentKind::kCancellation: return cancellation;
     case ExperimentKind::kSpectrum: return spectrum;
+    case ExperimentKind::kMultipathAntidote: return multipath;
+    case ExperimentKind::kWideband: return wideband;
   }
   return eavesdrop;
 }
@@ -340,6 +426,8 @@ std::string_view axis_name(SweepAxis axis) {
     case SweepAxis::kExtraPowerDb: return "extra_power_db";
     case SweepAxis::kHardwareErrorSigma: return "hardware_error_sigma";
     case SweepAxis::kAdversaryPowerDbm: return "adversary_power_dbm";
+    case SweepAxis::kMultipathTapDb: return "multipath_tap_db";
+    case SweepAxis::kMicsChannel: return "mics_channel";
   }
   return "point";
 }

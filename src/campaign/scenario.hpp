@@ -1,13 +1,16 @@
-// Declarative Monte Carlo scenarios for the paper's evaluation grid.
-//
-// A Scenario names one experiment family (passive eavesdropping, active
-// command injection, coexistence, calibration, timing, cancellation or
-// spectral profiling), its geometry and ablation toggles, and an optional
-// sweep axis. The campaign runner expands the sweep into points, fans
-// repeated trials over a worker pool, and aggregates per-point statistics.
-// Every hand-rolled bench_fig*/bench_table* workload has a named preset
-// here, plus multi-adversary and multi-IMD variants the paper's testbed
-// could not set up.
+/// @file
+/// Declarative Monte Carlo scenarios for the paper's evaluation grid.
+///
+/// A Scenario names one experiment family (passive eavesdropping, active
+/// command injection, coexistence, calibration, timing, cancellation,
+/// spectral profiling, or one of the extension studies), its geometry and
+/// ablation toggles, and an optional sweep axis. The campaign runner
+/// expands the sweep into points, fans repeated trials over a worker
+/// pool, and aggregates per-point statistics. Every bench_fig*/
+/// bench_table*/bench_ablate*/bench_ext* workload drives a named preset
+/// from here, plus multi-adversary and multi-IMD variants the paper's
+/// testbed could not set up. docs/REPRODUCING.md maps presets back to
+/// paper figures.
 #pragma once
 
 #include <cstddef>
@@ -23,13 +26,15 @@ namespace hs::campaign {
 
 /// Which experiment family a trial executes.
 enum class ExperimentKind {
-  kEavesdrop,     ///< passive adversary BER / shield PER (Figs. 8-10)
-  kActiveAttack,  ///< unauthorized command injection (Figs. 11-13)
-  kCoexistence,   ///< cross-traffic + turn-around (Table 2)
-  kPthresh,       ///< alarm-threshold calibration (Table 1)
-  kImdTiming,     ///< IMD reply-delay / no-carrier-sense (Fig. 3)
-  kCancellation,  ///< antidote cancellation CDF (Fig. 7, ablations)
-  kSpectrum,      ///< FSK / jamming power profile (Figs. 4-5)
+  kEavesdrop,         ///< passive adversary BER / shield PER (Figs. 8-10)
+  kActiveAttack,      ///< unauthorized command injection (Figs. 11-13)
+  kCoexistence,       ///< cross-traffic + turn-around (Table 2)
+  kPthresh,           ///< alarm-threshold calibration (Table 1)
+  kImdTiming,         ///< IMD reply-delay / no-carrier-sense (Fig. 3)
+  kCancellation,      ///< antidote cancellation CDF (Fig. 7, ablations)
+  kSpectrum,          ///< FSK / jamming power profile (Figs. 4-5)
+  kMultipathAntidote, ///< scalar vs FIR antidote under multipath (sec. 5 fn 2)
+  kWideband,          ///< 3 MHz whole-band monitor vs hopping (sec. 7(c))
 };
 
 /// The parameter a scenario sweeps; each value becomes one campaign point.
@@ -40,6 +45,8 @@ enum class SweepAxis {
   kExtraPowerDb,       ///< adversary power above the FCC limit
   kHardwareErrorSigma, ///< antidote analog accuracy
   kAdversaryPowerDbm,  ///< raw adversary TX power (P_thresh sweep)
+  kMultipathTapDb,     ///< 2nd H_jam->rec tap strength rel. to the 1st
+  kMicsChannel,        ///< MICS channel index the adversary hops to
 };
 
 /// Everything a campaign trial needs, as data. Axis values override the
@@ -47,6 +54,9 @@ enum class SweepAxis {
 struct Scenario {
   std::string name;
   std::string paper_ref;
+  /// One-line summary for `campaign_runner --list` and the reproduction
+  /// manual (docs/REPRODUCING.md).
+  std::string description;
   ExperimentKind kind = ExperimentKind::kEavesdrop;
 
   // -- geometry / devices ---------------------------------------------------
@@ -108,9 +118,13 @@ enum class Metric {
   kReplyDelayBusyMs,
   kCancellationDb,
   kToneBandFraction,
+  kScalarCancellationDb,    ///< flat antidote under multipath
+  kMultitapCancellationDb,  ///< FIR-equalizer antidote under multipath
+  kWidebandDetect,          ///< hopping command flagged by the monitor
+  kWidebandReactionMs,      ///< S_id decision latency into the packet
 };
 
-inline constexpr std::size_t kMetricCount = 14;
+inline constexpr std::size_t kMetricCount = 18;
 
 /// Stable short name used in CSV/JSON reports.
 std::string_view metric_name(Metric metric);

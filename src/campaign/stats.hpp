@@ -1,8 +1,9 @@
-// Streaming statistics for Monte Carlo campaigns.
-//
-// Workers accumulate samples into chunk-local StreamingStats and the runner
-// merges the chunks in a fixed order, so the final aggregates are
-// bit-identical no matter how many threads executed the trials.
+/// @file
+/// Streaming statistics for Monte Carlo campaigns.
+///
+/// Workers accumulate samples into chunk-local StreamingStats and the
+/// runner merges the chunks in a fixed order, so the final aggregates are
+/// bit-identical no matter how many threads executed the trials.
 #pragma once
 
 #include <cstddef>

@@ -20,6 +20,23 @@ Medium::Medium(double fs, std::size_t block_size, std::uint64_t seed,
   }
 }
 
+void Medium::reset(double fs, std::size_t block_size, std::uint64_t seed,
+                   const LinkBudgetConfig& budget) {
+  if (fs <= 0 || block_size == 0) {
+    throw std::invalid_argument("Medium::reset: invalid fs/block size");
+  }
+  fs_ = fs;
+  block_size_ = block_size;
+  budget_ = budget;
+  rng_ = dsp::Rng(seed, "medium");
+  antennas_.clear();
+  pairs_.clear();
+  tx_.clear();
+  tx_active_.clear();
+  rx_.clear();
+  noise_enabled_ = true;
+}
+
 AntennaId Medium::add_antenna(const AntennaDesc& desc) {
   const AntennaId id = antennas_.size();
   antennas_.push_back(desc);
@@ -61,17 +78,22 @@ void Medium::redraw_pair(AntennaId a, AntennaId b) {
   // Reciprocal channel: same draw in both directions.
   pair(a, b).phase = phase;
   pair(a, b).shadow_db = shadow;
+  pair(a, b).cached_gain.reset();
   pair(b, a).phase = phase;
   pair(b, a).shadow_db = shadow;
+  pair(b, a).cached_gain.reset();
 }
 
 void Medium::set_pair_gain(AntennaId from, AntennaId to, cplx gain) {
   pair(from, to).override_gain = gain;
+  pair(from, to).cached_gain.reset();
 }
 
 void Medium::add_pair_loss(AntennaId a, AntennaId b, double extra_db) {
   pair(a, b).extra_loss_db += extra_db;
+  pair(a, b).cached_gain.reset();
   pair(b, a).extra_loss_db += extra_db;
+  pair(b, a).cached_gain.reset();
 }
 
 void Medium::rerandomize() {
@@ -96,8 +118,11 @@ cplx Medium::gain(AntennaId from, AntennaId to) const {
   const PairState& p = pair(from, to);
   if (p.override_gain) return *p.override_gain;
   if (from == to) return cplx{};  // no implicit self-coupling
-  const double loss_db = nominal_loss_db(from, to) + p.shadow_db;
-  return dsp::db_to_amplitude(-loss_db) * p.phase;
+  if (!p.cached_gain) {
+    const double loss_db = nominal_loss_db(from, to) + p.shadow_db;
+    p.cached_gain = dsp::db_to_amplitude(-loss_db) * p.phase;
+  }
+  return *p.cached_gain;
 }
 
 void Medium::begin_block() {

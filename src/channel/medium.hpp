@@ -50,6 +50,16 @@ class Medium {
   Medium(double fs, std::size_t block_size, std::uint64_t seed,
          LinkBudgetConfig budget = {});
 
+  /// Returns the medium to its just-constructed state under a new seed:
+  /// all antennas, pair overrides and buffered samples are dropped and the
+  /// RNG is reseeded. Nodes re-register their antennas afterwards, in the
+  /// same order as at construction, so the per-pair phase/shadowing draws
+  /// replay exactly and a reset+rewire deployment is bit-identical to a
+  /// freshly constructed one. Buffer capacity is retained (the point of
+  /// resetting instead of reconstructing).
+  void reset(double fs, std::size_t block_size, std::uint64_t seed,
+             const LinkBudgetConfig& budget);
+
   AntennaId add_antenna(const AntennaDesc& desc);
   std::size_t antenna_count() const { return antennas_.size(); }
   const AntennaDesc& antenna(AntennaId id) const { return antennas_.at(id); }
@@ -104,6 +114,12 @@ class Medium {
     double extra_loss_db = 0.0;
     dsp::cplx phase{1.0, 0.0};
     double shadow_db = 0.0;
+    /// Lazily computed gain() result — the dB-to-amplitude conversion
+    /// costs a log10 and a pow per call and mix() asks for every active
+    /// pair every block. Pure function of the fields above and the
+    /// antenna descriptors, so caching is exact; invalidated whenever
+    /// any input changes.
+    mutable std::optional<dsp::cplx> cached_gain;
   };
 
   PairState& pair(AntennaId from, AntennaId to);

@@ -37,7 +37,7 @@ class Rng {
   /// Uniform integer in [0, n). `n` must be > 0.
   std::uint64_t uniform_u64(std::uint64_t n);
 
-  /// Standard normal variate (Box-Muller, cached pair).
+  /// Standard normal variate (Marsaglia-Tsang ziggurat).
   double gaussian();
 
   /// Normal variate with the given mean and standard deviation.
@@ -57,8 +57,6 @@ class Rng {
 
  private:
   std::uint64_t s_[4];
-  double cached_gaussian_ = 0.0;
-  bool has_cached_gaussian_ = false;
 };
 
 /// Hashes a stream name into a 64-bit value (FNV-1a), used to derive

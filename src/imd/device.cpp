@@ -9,32 +9,69 @@ namespace hs::imd {
 
 using channel::AntennaDesc;
 
+namespace {
+
+phy::ReceiverOptions imd_receiver_options(const ImdProfile& profile) {
+  return phy::ReceiverOptions{
+      .detect_threshold = 0.82,
+      .sync_tolerance = 4,
+      .max_frame_bits = 1024,
+      .gate_factor = 4.0,
+      .min_gate_power = dsp::dbm_to_mw(profile.sensitivity_dbm),
+  };
+}
+
+}  // namespace
+
 ImdDevice::ImdDevice(const ImdProfile& profile, channel::Medium& medium,
                      sim::EventLog* log, std::uint64_t seed)
     : profile_(profile),
       name_("imd/" + profile.model_name),
       log_(log),
       rng_(seed, "imd-device"),
-      receiver_(profile.fsk,
-                phy::ReceiverOptions{
-                    .detect_threshold = 0.82,
-                    .sync_tolerance = 4,
-                    .max_frame_bits = 1024,
-                    .gate_factor = 4.0,
-                    .min_gate_power = dsp::dbm_to_mw(profile.sensitivity_dbm),
-                }),
+      receiver_(profile.fsk, imd_receiver_options(profile)),
       modulator_(profile.fsk),
       tx_amplitude_(std::sqrt(dsp::dbm_to_mw(profile.tx_power_dbm))) {
+  register_with_medium(medium);
+  fill_patient_data();
+}
+
+void ImdDevice::register_with_medium(channel::Medium& medium) {
   AntennaDesc desc;
   desc.name = name_ + "/antenna";
   desc.position = channel::kImdPosition;
-  desc.body_loss_db = profile.body_loss_db;
+  desc.body_loss_db = profile_.body_loss_db;
   antenna_ = medium.add_antenna(desc);
+}
+
+void ImdDevice::fill_patient_data() {
   // Synthetic "patient data" the device returns on interrogation.
   patient_data_.resize(1024);
   for (std::size_t i = 0; i < patient_data_.size(); ++i) {
     patient_data_[i] = static_cast<std::uint8_t>(rng_.next_u64());
   }
+}
+
+void ImdDevice::reset(const ImdProfile& profile, channel::Medium& medium,
+                      sim::EventLog* log, std::uint64_t seed) {
+  // Mirror of the constructor, member for member (the campaign trial-pool
+  // determinism test asserts the equivalence).
+  profile_ = profile;
+  name_ = "imd/" + profile.model_name;
+  log_ = log;
+  rng_ = dsp::Rng(seed, "imd-device");
+  receiver_ = phy::FskReceiver(profile.fsk, imd_receiver_options(profile));
+  modulator_ = phy::FskModulator(profile.fsk);
+  tx_ = sim::TransmitScheduler();
+  tx_amplitude_ = std::sqrt(dsp::dbm_to_mw(profile.tx_power_dbm));
+  therapy_ = TherapySettings{};
+  battery_ = Battery();
+  stats_ = ImdStats{};
+  data_cursor_ = 0;
+  last_tx_bits_.clear();
+  last_tx_start_ = 0;
+  register_with_medium(medium);
+  fill_patient_data();
 }
 
 void ImdDevice::produce(const sim::StepContext& ctx, channel::Medium& medium) {

@@ -43,6 +43,14 @@ class ImdDevice : public sim::RadioNode {
   ImdDevice(const ImdProfile& profile, channel::Medium& medium,
             sim::EventLog* log, std::uint64_t seed);
 
+  /// Returns the device to the state a fresh `ImdDevice(profile, medium,
+  /// log, seed)` would have, re-registering its antenna with `medium`
+  /// (which the caller has just reset). Part of the campaign engine's
+  /// trial-context pool: reused devices behave bit-identically to newly
+  /// constructed ones.
+  void reset(const ImdProfile& profile, channel::Medium& medium,
+             sim::EventLog* log, std::uint64_t seed);
+
   // sim::RadioNode
   void produce(const sim::StepContext& ctx, channel::Medium& medium) override;
   void consume(const sim::StepContext& ctx, channel::Medium& medium) override;
@@ -68,6 +76,8 @@ class ImdDevice : public sim::RadioNode {
  private:
   void handle_frame(const phy::ReceivedFrame& rx, const sim::StepContext& ctx);
   void schedule_reply(const phy::Frame& reply, std::size_t at_sample);
+  void register_with_medium(channel::Medium& medium);
+  void fill_patient_data();
 
   ImdProfile profile_;
   std::string name_;

@@ -15,10 +15,28 @@ ProgrammerNode::ProgrammerNode(const ProgrammerConfig& config,
       receiver_(config.fsk),
       cca_(config.fsk.fs),
       tx_amplitude_(std::sqrt(dsp::dbm_to_mw(config.tx_power_dbm))) {
+  register_with_medium(medium);
+}
+
+void ProgrammerNode::register_with_medium(channel::Medium& medium) {
   channel::AntennaDesc desc;
   desc.name = "programmer/antenna";
-  desc.position = config.position;
+  desc.position = config_.position;
   antenna_ = medium.add_antenna(desc);
+}
+
+void ProgrammerNode::reset(const ProgrammerConfig& config,
+                           channel::Medium& medium, sim::EventLog* log) {
+  config_ = config;
+  log_ = log;
+  modulator_ = phy::FskModulator(config.fsk);
+  receiver_ = phy::FskReceiver(config.fsk);
+  cca_ = mics::ClearChannelAssessment(config.fsk.fs);
+  tx_ = sim::TransmitScheduler();
+  tx_amplitude_ = std::sqrt(dsp::dbm_to_mw(config.tx_power_dbm));
+  pending_.clear();
+  responses_.clear();
+  register_with_medium(medium);
 }
 
 void ProgrammerNode::send(const phy::Frame& frame) {

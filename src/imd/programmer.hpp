@@ -30,6 +30,12 @@ class ProgrammerNode : public sim::RadioNode {
   ProgrammerNode(const ProgrammerConfig& config, channel::Medium& medium,
                  sim::EventLog* log);
 
+  /// Returns the node to the state a fresh `ProgrammerNode(config,
+  /// medium, log)` would have, re-registering its antenna with `medium`
+  /// (which the caller has just reset); campaign trial-pool hook.
+  void reset(const ProgrammerConfig& config, channel::Medium& medium,
+             sim::EventLog* log);
+
   // sim::RadioNode
   void produce(const sim::StepContext& ctx, channel::Medium& medium) override;
   void consume(const sim::StepContext& ctx, channel::Medium& medium) override;
@@ -55,6 +61,8 @@ class ProgrammerNode : public sim::RadioNode {
   bool waiting_for_clear_channel() const { return !pending_.empty(); }
 
  private:
+  void register_with_medium(channel::Medium& medium);
+
   ProgrammerConfig config_;
   std::string name_;
   channel::AntennaId antenna_;

@@ -40,6 +40,7 @@ FskReceiver::FskReceiver(const FskParams& params, ReceiverOptions options)
 
 void FskReceiver::reset() {
   buffer_.clear();
+  corr_cache_.clear();
   buffer_base_ = total_consumed_;
   scan_pos_ = 0;
   locked_ = false;
@@ -50,6 +51,14 @@ void FskReceiver::reset() {
 }
 
 void FskReceiver::push(dsp::SampleView samples) {
+  // While scanning unlocked, everything before the sweep's look-back
+  // window (scan_pos_ - sps) is dead; trim it periodically so long idle
+  // or noise-only stretches do not grow the buffer without bound. Purely
+  // an eviction — every index the scan logic can touch is preserved, so
+  // results are bit-identical.
+  if (!locked_ && scan_pos_ > kCompactScanSamples + params_.sps) {
+    compact_buffer(scan_pos_ - params_.sps);
+  }
   buffer_.insert(buffer_.end(), samples.begin(), samples.end());
   total_consumed_ += samples.size();
   // Alternate detection and demodulation until no further progress: a
@@ -80,28 +89,64 @@ std::optional<ReceivedFrame> FskReceiver::pop() {
 }
 
 double FskReceiver::correlation_at(std::size_t lag) const {
+  const std::size_t abs_lag = buffer_base_ + lag;
+  if (const auto it = corr_cache_.find(abs_lag); it != corr_cache_.end()) {
+    return it->second;
+  }
   // Segmented (noncoherent) correlation: the reference is split into a few
   // segments whose partial correlations are combined by magnitude. A
   // residual carrier-frequency offset rotates the phase across the
   // reference; fully coherent correlation would collapse beyond ~130 Hz,
   // while magnitude-combining 6 segments rides out crystal-grade offsets
   // (several hundred Hz) at a negligible noise penalty.
+  //
+  // This is the receiver's hot loop (every power step on the medium pays a
+  // full sweep of these), so each segment runs 4 independent accumulator
+  // lanes the compiler can vectorize; the lanes and the split real/imag
+  // arithmetic change only last-ulp rounding versus a single sequential
+  // accumulator.
   constexpr std::size_t kSegments = 6;
+  constexpr std::size_t kLanes = 4;
   const std::size_t ref = sync_waveform_.size();
   const std::size_t seg = ref / kSegments;
+  const cplx* sig = buffer_.data() + lag;
   double acc_mag = 0.0;
   double sig_energy = 0.0;
   for (std::size_t s = 0; s < kSegments; ++s) {
-    cplx acc{};
     const std::size_t from = s * seg;
     const std::size_t to = (s + 1 == kSegments) ? ref : from + seg;
-    for (std::size_t i = from; i < to; ++i) {
-      acc += buffer_[lag + i] * std::conj(sync_waveform_[i]);
-      sig_energy += std::norm(buffer_[lag + i]);
+    double acc_re[kLanes] = {};
+    double acc_im[kLanes] = {};
+    double energy[kLanes] = {};
+    std::size_t i = from;
+    for (; i + kLanes <= to; i += kLanes) {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const double br = sig[i + l].real();
+        const double bi = sig[i + l].imag();
+        const double rr = sync_waveform_[i + l].real();
+        const double ri = sync_waveform_[i + l].imag();
+        // b * conj(r)
+        acc_re[l] += br * rr + bi * ri;
+        acc_im[l] += bi * rr - br * ri;
+        energy[l] += br * br + bi * bi;
+      }
     }
-    acc_mag += std::abs(acc);
+    for (; i < to; ++i) {
+      const double br = sig[i].real();
+      const double bi = sig[i].imag();
+      acc_re[0] += br * sync_waveform_[i].real() + bi * sync_waveform_[i].imag();
+      acc_im[0] += bi * sync_waveform_[i].real() - br * sync_waveform_[i].imag();
+      energy[0] += br * br + bi * bi;
+    }
+    const double re = (acc_re[0] + acc_re[1]) + (acc_re[2] + acc_re[3]);
+    const double im = (acc_im[0] + acc_im[1]) + (acc_im[2] + acc_im[3]);
+    acc_mag += std::sqrt(re * re + im * im);
+    sig_energy += (energy[0] + energy[1]) + (energy[2] + energy[3]);
   }
-  return acc_mag / std::sqrt(std::max(sig_energy * ref_energy_, 1e-30));
+  const double corr =
+      acc_mag / std::sqrt(std::max(sig_energy * ref_energy_, 1e-30));
+  corr_cache_.emplace(abs_lag, corr);
+  return corr;
 }
 
 void FskReceiver::try_detect() {
@@ -266,6 +311,9 @@ void FskReceiver::compact_buffer(std::size_t keep_from) {
   buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(drop));
   buffer_base_ += drop;
   scan_pos_ = (scan_pos_ >= drop) ? scan_pos_ - drop : 0;
+  std::erase_if(corr_cache_, [this](const auto& entry) {
+    return entry.first < buffer_base_;
+  });
 }
 
 }  // namespace hs::phy

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "dsp/types.hpp"
@@ -77,6 +78,10 @@ class FskReceiver {
   const FskParams& params() const { return params_; }
 
  private:
+  /// Compact the scan buffer once the cursor is this far in (bounds the
+  /// buffer near 64 KiB during noise-only stretches).
+  static constexpr std::size_t kCompactScanSamples = 4096;
+
   void try_detect();
   void demodulate_available();
   void finish_frame(const DecodeResult& decode);
@@ -94,6 +99,13 @@ class FskReceiver {
 
   dsp::Samples buffer_;          ///< samples not yet fully consumed
   std::size_t buffer_base_ = 0;  ///< absolute index of buffer_[0]
+  /// Memo of correlation_at results keyed by absolute lag. The
+  /// correlation is a pure function of the (append-only) sample stream,
+  /// and consecutive detection sweeps overlap roughly half their lags
+  /// during noise-floor adaptation runs, so reusing the exact values
+  /// halves the receiver's dominant cost without changing a single
+  /// decision. Pruned on buffer compaction.
+  mutable std::unordered_map<std::size_t, double> corr_cache_;
   std::size_t total_consumed_ = 0;
   std::size_t scan_pos_ = 0;  ///< buffer-relative scan cursor when unlocked
 

@@ -68,22 +68,25 @@ double measure_jam_residual_dbm(Deployment& d) {
 PthreshResult measure_pthresh(std::uint64_t seed, int location_index,
                               double power_lo_dbm, double power_hi_dbm,
                               double power_step_db,
-                              std::size_t packets_per_power) {
+                              std::size_t packets_per_power,
+                              TrialContext* context) {
+  TrialContext scratch;
+  TrialContext& pool = context != nullptr ? *context : scratch;
+
   DeploymentOptions opt;
   opt.seed = seed;
   opt.with_observer = true;
   // Per section 10.3's methodology the shield jams only the adversary's
   // packets, not the IMD's replies, so the observer can hear them.
   opt.shield_config.enable_passive_jamming = false;
-  Deployment d(opt);
+  Deployment& d = pool.deployment(opt);
 
   const auto& loc = channel::testbed_location(location_index);
   adversary::ActiveAdversaryConfig acfg;
   acfg.position = loc.position();
   acfg.walls = loc.walls;
   acfg.fsk = opt.imd_profile.fsk;
-  adversary::ActiveAdversaryNode adversary(acfg, d.medium(), &d.log());
-  d.add_node(&adversary);
+  adversary::ActiveAdversaryNode& adversary = pool.active_adversary(acfg);
   d.run_for(2e-3);
 
   // The adversary transmits an interrogation (elicits a reply).

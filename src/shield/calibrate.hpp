@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "shield/deployment.hpp"
+#include "shield/trial_context.hpp"
 
 namespace hs::shield {
 
@@ -37,11 +38,14 @@ struct PthreshResult {
 
 /// Sweeps an adversary's transmit power at the given testbed location and
 /// records the RSSI (at the shield) of every packet that triggered an IMD
-/// response despite active jamming (Table 1's methodology).
+/// response despite active jamming (Table 1's methodology). With a
+/// TrialContext the deployment is drawn from the pool (bit-identical,
+/// cheaper); without one it is built fresh.
 PthreshResult measure_pthresh(std::uint64_t seed, int location_index,
                               double power_lo_dbm, double power_hi_dbm,
                               double power_step_db,
-                              std::size_t packets_per_power);
+                              std::size_t packets_per_power,
+                              TrialContext* context = nullptr);
 
 struct BthreshResult {
   std::size_t packets_sent = 0;

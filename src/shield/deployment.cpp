@@ -4,6 +4,26 @@
 
 namespace hs::shield {
 
+namespace {
+
+ShieldConfig shield_config_for(const DeploymentOptions& options) {
+  ShieldConfig cfg = options.shield_config;
+  cfg.protected_id = options.imd_profile.serial;
+  cfg.fsk = options.imd_profile.fsk;
+  return cfg;
+}
+
+adversary::MonitorConfig observer_config_for(const DeploymentOptions& options) {
+  adversary::MonitorConfig mcfg;
+  mcfg.name = "observer";
+  mcfg.position = channel::kImdPosition;
+  mcfg.body_loss_db = options.imd_profile.body_loss_db;
+  mcfg.fsk = options.imd_profile.fsk;
+  return mcfg;
+}
+
+}  // namespace
+
 Deployment::Deployment(const DeploymentOptions& options) : options_(options) {
   medium_ = std::make_unique<channel::Medium>(
       options_.imd_profile.fsk.fs, options_.block_size, options_.seed,
@@ -15,27 +35,58 @@ Deployment::Deployment(const DeploymentOptions& options) : options_(options) {
   timeline_->add_node(imd_.get());
 
   if (options_.shield_present) {
-    ShieldConfig cfg = options_.shield_config;
-    cfg.protected_id = options_.imd_profile.serial;
-    cfg.fsk = options_.imd_profile.fsk;
-    shield_ = std::make_unique<ShieldNode>(cfg, *medium_, &timeline_->log(),
+    shield_ = std::make_unique<ShieldNode>(shield_config_for(options_),
+                                           *medium_, &timeline_->log(),
                                            options_.seed);
     timeline_->add_node(shield_.get());
-    // The necklace's antennas face outward, away from the chest: extra
-    // attenuation from the shield toward the IMD (calibrated vs Table 1).
-    medium_->add_pair_loss(shield_->jam_antenna(), imd_->antenna(),
-                           channel::kShieldToImdDirectivityLossDb);
-    medium_->add_pair_loss(shield_->rx_antenna(), imd_->antenna(),
-                           channel::kShieldToImdDirectivityLossDb);
+    wire_shield_directivity();
   }
 
   if (options_.with_observer) {
-    adversary::MonitorConfig mcfg;
-    mcfg.name = "observer";
-    mcfg.position = channel::kImdPosition;
-    mcfg.body_loss_db = options_.imd_profile.body_loss_db;
-    mcfg.fsk = options_.imd_profile.fsk;
-    observer_ = std::make_unique<adversary::MonitorNode>(mcfg, *medium_);
+    observer_ = std::make_unique<adversary::MonitorNode>(
+        observer_config_for(options_), *medium_);
+    timeline_->add_node(observer_.get());
+  }
+
+  if (options_.warmup_s > 0.0) timeline_->run_for(options_.warmup_s);
+}
+
+void Deployment::wire_shield_directivity() {
+  // The necklace's antennas face outward, away from the chest: extra
+  // attenuation from the shield toward the IMD (calibrated vs Table 1).
+  medium_->add_pair_loss(shield_->jam_antenna(), imd_->antenna(),
+                         channel::kShieldToImdDirectivityLossDb);
+  medium_->add_pair_loss(shield_->rx_antenna(), imd_->antenna(),
+                         channel::kShieldToImdDirectivityLossDb);
+}
+
+bool Deployment::can_reset_to(const DeploymentOptions& options) const {
+  return options.shield_present == (shield_ != nullptr) &&
+         options.with_observer == (observer_ != nullptr);
+}
+
+void Deployment::reset(const DeploymentOptions& options) {
+  // Mirror of the constructor: every step that consumed randomness or
+  // registered state at construction replays in the same order, so the
+  // reset deployment is bit-identical to a fresh one.
+  options_ = options;
+  medium_->reset(options_.imd_profile.fsk.fs, options_.block_size,
+                 options_.seed, options_.budget);
+  timeline_->reset();
+
+  imd_->reset(options_.imd_profile, *medium_, &timeline_->log(),
+              options_.seed);
+  timeline_->add_node(imd_.get());
+
+  if (shield_ != nullptr) {
+    shield_->reset(shield_config_for(options_), *medium_, &timeline_->log(),
+                   options_.seed);
+    timeline_->add_node(shield_.get());
+    wire_shield_directivity();
+  }
+
+  if (observer_ != nullptr) {
+    observer_->reset(observer_config_for(options_), *medium_);
     timeline_->add_node(observer_.get());
   }
 

@@ -1,6 +1,9 @@
-// Standard experiment scenario builder: medium + timeline + IMD + shield
-// (+ optional observer), wired exactly like the paper's Fig. 6 testbed.
-// All benches, examples and integration tests build on this.
+/// @file
+/// Standard experiment scenario builder: medium + timeline + IMD + shield
+/// (+ optional observer), wired exactly like the paper's Fig. 6 testbed.
+/// All benches, examples and integration tests build on this, either
+/// directly or through the campaign engine's trial-context pool, which
+/// reset-and-reseeds one Deployment across trials (see reset()).
 #pragma once
 
 #include <cstdint>
@@ -39,6 +42,22 @@ class Deployment {
  public:
   explicit Deployment(const DeploymentOptions& options);
 
+  /// True when this deployment's node set can be re-seeded into the state
+  /// a fresh `Deployment(options)` would have: the set of allocated nodes
+  /// (shield, observer) must match; everything else — seed, profile,
+  /// shield config, link budget — is replayed by reset().
+  bool can_reset_to(const DeploymentOptions& options) const;
+
+  /// Re-seeds the deployment in place: the medium forgets all antennas
+  /// and draws, every node resets and re-registers in construction order,
+  /// and the warm-up re-runs. The result is bit-identical to a freshly
+  /// constructed `Deployment(options)` (asserted by the campaign trial-
+  /// pool determinism test) while skipping the expensive construction
+  /// work. Caller must have checked can_reset_to(). Extra caller-built
+  /// nodes registered via add_node() are forgotten — re-add (reset) them
+  /// after this returns, exactly as after fresh construction.
+  void reset(const DeploymentOptions& options);
+
   channel::Medium& medium() { return *medium_; }
   sim::Timeline& timeline() { return *timeline_; }
   imd::ImdDevice& imd() { return *imd_; }
@@ -56,6 +75,8 @@ class Deployment {
   void run_for(double seconds) { timeline_->run_for(seconds); }
 
  private:
+  void wire_shield_directivity();
+
   DeploymentOptions options_;
   std::unique_ptr<channel::Medium> medium_;
   std::unique_ptr<sim::Timeline> timeline_;

@@ -19,7 +19,11 @@ double EavesdropResult::mean_ber() const {
   return s / static_cast<double>(eavesdropper_ber.size());
 }
 
-EavesdropResult run_eavesdrop_experiment(const EavesdropOptions& options) {
+EavesdropResult run_eavesdrop_experiment(const EavesdropOptions& options,
+                                         TrialContext* context) {
+  TrialContext scratch;
+  TrialContext& pool = context != nullptr ? *context : scratch;
+
   DeploymentOptions opt;
   opt.seed = options.seed;
   opt.shield_present = options.shield_present;
@@ -30,7 +34,7 @@ EavesdropResult run_eavesdrop_experiment(const EavesdropOptions& options) {
     opt.shield_config.hardware_error_sigma = options.hardware_error_sigma;
   }
   opt.shield_config.jam_profile = options.jam_profile;
-  Deployment d(opt);
+  Deployment& d = pool.deployment(opt);
 
   // The eavesdropper: a capturing monitor at the chosen Fig. 6 location.
   const auto& loc = channel::testbed_location(options.location_index);
@@ -40,17 +44,18 @@ EavesdropResult run_eavesdrop_experiment(const EavesdropOptions& options) {
   ecfg.walls = loc.walls;
   ecfg.fsk = opt.imd_profile.fsk;
   ecfg.capture_samples = true;
-  adversary::MonitorNode eavesdropper(ecfg, d.medium());
-  d.add_node(&eavesdropper);
+  // The eavesdropper is decoded offline (eavesdrop_decode with genie
+  // timing); its streaming receiver would only burn cycles fighting the
+  // jamming it is capturing.
+  ecfg.decode_enabled = false;
+  adversary::MonitorNode& eavesdropper = pool.monitor(ecfg);
 
   // Without a shield, a plain programmer triggers the IMD instead.
-  std::unique_ptr<imd::ProgrammerNode> programmer;
+  imd::ProgrammerNode* programmer = nullptr;
   if (!options.shield_present) {
     imd::ProgrammerConfig pcfg;
     pcfg.fsk = opt.imd_profile.fsk;
-    programmer = std::make_unique<imd::ProgrammerNode>(pcfg, d.medium(),
-                                                       &d.log());
-    d.add_node(programmer.get());
+    programmer = &pool.programmer(pcfg);
   }
   d.run_for(2e-3);
 
@@ -94,7 +99,11 @@ EavesdropResult run_eavesdrop_experiment(const EavesdropOptions& options) {
   return result;
 }
 
-AttackResult run_attack_experiment(const AttackOptions& options) {
+AttackResult run_attack_experiment(const AttackOptions& options,
+                                   TrialContext* context) {
+  TrialContext scratch;
+  TrialContext& pool = context != nullptr ? *context : scratch;
+
   DeploymentOptions opt;
   opt.seed = options.seed;
   opt.imd_profile = options.imd_profile;
@@ -102,7 +111,7 @@ AttackResult run_attack_experiment(const AttackOptions& options) {
   // Section 10.3 methodology: the shield jams only the adversary's
   // packets (not the IMD's), so the observer can verify IMD responses.
   opt.shield_config.enable_passive_jamming = false;
-  Deployment d(opt);
+  Deployment& d = pool.deployment(opt);
 
   const auto& loc = channel::testbed_location(options.location_index);
   adversary::ActiveAdversaryConfig acfg;
@@ -110,8 +119,7 @@ AttackResult run_attack_experiment(const AttackOptions& options) {
   acfg.walls = loc.walls;
   acfg.fsk = opt.imd_profile.fsk;
   acfg.tx_power_dbm = -16.0 + options.extra_power_db;
-  adversary::ActiveAdversaryNode adversary(acfg, d.medium(), &d.log());
-  d.add_node(&adversary);
+  adversary::ActiveAdversaryNode& adversary = pool.active_adversary(acfg);
   d.run_for(2e-3);
 
   const auto& serial = opt.imd_profile.serial;
@@ -153,26 +161,28 @@ AttackResult run_attack_experiment(const AttackOptions& options) {
 }
 
 CoexistenceResult run_coexistence_experiment(
-    const CoexistenceOptions& options) {
+    const CoexistenceOptions& options, TrialContext* context) {
+  TrialContext scratch;
+  TrialContext& pool = context != nullptr ? *context : scratch;
+
   CoexistenceResult result;
   for (int loc_index : options.location_indices) {
     DeploymentOptions opt;
     opt.seed = options.seed + static_cast<std::uint64_t>(loc_index);
-    Deployment d(opt);
+    Deployment& d = pool.deployment(opt);
 
     const auto& loc = channel::testbed_location(loc_index);
     adversary::ActiveAdversaryConfig acfg;
     acfg.position = loc.position();
     acfg.walls = loc.walls;
     acfg.fsk = opt.imd_profile.fsk;
-    adversary::ActiveAdversaryNode adversary(acfg, d.medium(), &d.log());
-    d.add_node(&adversary);
+    adversary::ActiveAdversaryNode& adversary = pool.active_adversary(acfg);
 
     adversary::CrossTrafficConfig ccfg;
     ccfg.position = loc.position();
     ccfg.walls = loc.walls;
-    adversary::CrossTrafficNode radiosonde(ccfg, d.medium(), opt.seed);
-    d.add_node(&radiosonde);
+    adversary::CrossTrafficNode& radiosonde =
+        pool.cross_traffic(ccfg, opt.seed);
     d.run_for(2e-3);
 
     const double fs = opt.imd_profile.fsk.fs;

@@ -1,8 +1,15 @@
-// Reusable experiment drivers for the paper's evaluation section.
-// Each function stands up a full Fig. 6-style deployment, runs the
-// scripted scenario, and returns raw measurements; the bench binaries
-// format them into the paper's tables and figures, and the integration
-// tests assert on them.
+/// @file
+/// Reusable experiment drivers for the paper's evaluation section.
+/// Each function stands up a full Fig. 6-style deployment, runs the
+/// scripted scenario, and returns raw measurements; the bench binaries
+/// format them into the paper's tables and figures, and the integration
+/// tests assert on them.
+///
+/// Every driver accepts an optional TrialContext. With one, the
+/// deployment and experiment nodes are drawn from the pool (reset and
+/// reseeded rather than reconstructed) — bit-identical results, a
+/// fraction of the setup cost. Without one, a private context is used
+/// and discarded, which is plain fresh construction.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +18,7 @@
 #include "imd/profiles.hpp"
 #include "shield/deployment.hpp"
 #include "shield/jamgen.hpp"
+#include "shield/trial_context.hpp"
 
 namespace hs::shield {
 
@@ -51,7 +59,8 @@ struct EavesdropResult {
   double mean_ber() const;
 };
 
-EavesdropResult run_eavesdrop_experiment(const EavesdropOptions& options);
+EavesdropResult run_eavesdrop_experiment(const EavesdropOptions& options,
+                                         TrialContext* context = nullptr);
 
 // ---------------------------------------------------------------------------
 // Active-adversary experiment (section 10.3, Figs. 11-13): an adversary at
@@ -93,7 +102,8 @@ struct AttackResult {
   double battery_energy_spent_mj = 0.0;
 };
 
-AttackResult run_attack_experiment(const AttackOptions& options);
+AttackResult run_attack_experiment(const AttackOptions& options,
+                                   TrialContext* context = nullptr);
 
 // ---------------------------------------------------------------------------
 // Coexistence experiment (section 11, Table 2): a USRP alternates between
@@ -116,6 +126,7 @@ struct CoexistenceResult {
   std::vector<double> turnaround_us;  ///< jam-stop latency per jam
 };
 
-CoexistenceResult run_coexistence_experiment(const CoexistenceOptions& options);
+CoexistenceResult run_coexistence_experiment(const CoexistenceOptions& options,
+                                             TrialContext* context = nullptr);
 
 }  // namespace hs::shield

@@ -57,6 +57,26 @@ JammingSignalGenerator::JammingSignalGenerator(const phy::FskParams& fsk,
   rebuild_weights();
 }
 
+void JammingSignalGenerator::reset(const phy::FskParams& fsk,
+                                   JamProfile profile, std::uint64_t seed,
+                                   std::size_t fft_size) {
+  if (!dsp::is_pow2(fft_size)) {
+    throw std::invalid_argument("JammingSignalGenerator: fft_size not 2^k");
+  }
+  const bool profile_stale = fft_size != fft_size_ ||
+                             fsk.fs != fsk_.fs || fsk.sps != fsk_.sps ||
+                             fsk.f0 != fsk_.f0 || fsk.f1 != fsk_.f1;
+  fsk_ = fsk;
+  profile_ = profile;
+  rng_ = dsp::Rng(seed, "jamming");
+  fft_size_ = fft_size;
+  power_mw_ = 1.0;
+  if (profile_stale) shaped_weights_ = fsk_power_profile(fsk_, fft_size_);
+  rebuild_weights();
+  buffer_.clear();
+  buffer_pos_ = 0;
+}
+
 void JammingSignalGenerator::rebuild_weights() {
   if (profile_ == JamProfile::kShaped) {
     weights_ = shaped_weights_;

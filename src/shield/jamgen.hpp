@@ -35,6 +35,15 @@ class JammingSignalGenerator {
   JammingSignalGenerator(const phy::FskParams& fsk, JamProfile profile,
                          std::uint64_t seed, std::size_t fft_size = 256);
 
+  /// Returns the generator to its just-constructed state under new
+  /// parameters. The empirical FSK power profile — the expensive part of
+  /// construction (a long modulation plus a Welch PSD) — is recomputed
+  /// only when `fsk` or `fft_size` differ from the current ones; it does
+  /// not depend on the seed, so reusing it keeps the output stream
+  /// bit-identical to a fresh generator's.
+  void reset(const phy::FskParams& fsk, JamProfile profile,
+             std::uint64_t seed, std::size_t fft_size);
+
   /// Sets the target mean transmit power (linear mW).
   void set_power(double power_mw);
   double power() const { return power_mw_; }

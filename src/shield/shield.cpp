@@ -15,6 +15,24 @@ namespace hs::shield {
 using dsp::cplx;
 using dsp::Samples;
 
+namespace {
+
+/// Initial noise-floor estimate (dBm) before minimum tracking adapts it;
+/// reset() must seed the same value as the constructor or pooled trials
+/// would diverge from fresh construction.
+constexpr double kInitialNoiseFloorDbm = -112.0;
+
+/// S_id: preamble + sync + device serial (section 7(a)), plus the
+/// direction bit that distinguishes packets *destined to* the IMD
+/// (commands, type MSB 0) from the IMD's own replies.
+phy::BitVec make_shield_sid(const ShieldConfig& config) {
+  phy::BitVec sid = phy::make_sid(config.protected_id);
+  sid.push_back(0);
+  return sid;
+}
+
+}  // namespace
+
 ShieldNode::ShieldNode(const ShieldConfig& config, channel::Medium& medium,
                        sim::EventLog* log, std::uint64_t seed)
     : config_(config),
@@ -22,22 +40,18 @@ ShieldNode::ShieldNode(const ShieldConfig& config, channel::Medium& medium,
       rng_(seed, "shield"),
       jamgen_(config.fsk, config.jam_profile, seed, config.jam_fft_size),
       antidote_(config.hardware_error_sigma, seed),
-      sid_(
-          [&config] {
-            // S_id: preamble + sync + device serial (section 7(a)), plus
-            // the direction bit that distinguishes packets *destined to*
-            // the IMD (commands, type MSB 0) from the IMD's own replies.
-            phy::BitVec sid = phy::make_sid(config.protected_id);
-            sid.push_back(0);
-            return sid;
-          }(),
-          config.bthresh, /*exact_suffix_bits=*/1),
+      sid_(make_shield_sid(config), config.bthresh, /*exact_suffix_bits=*/1),
       monitor_(config.fsk),
       modulator_(config.fsk),
       probe_waveform_(make_probe_waveform(
           std::min(config.probe_length, medium.block_size()), seed)),
       probe_amplitude_(std::sqrt(dsp::dbm_to_mw(config.probe_power_dbm))),
-      noise_floor_mw_(dsp::dbm_to_mw(-112.0)) {
+      noise_floor_mw_(dsp::dbm_to_mw(kInitialNoiseFloorDbm)) {
+  register_with_medium(medium);
+  jamgen_.set_power(dsp::dbm_to_mw(jam_power_dbm()));
+}
+
+void ShieldNode::register_with_medium(channel::Medium& medium) {
   channel::AntennaDesc jam_desc;
   jam_desc.name = "shield/jam-antenna";
   jam_desc.position = channel::kShieldPosition;
@@ -57,7 +71,57 @@ ShieldNode::ShieldNode(const ShieldConfig& config, channel::Medium& medium,
       dsp::db_to_amplitude(-config_.jam_rec_coupling_db) * rng_.random_phase();
   medium.set_pair_gain(rx_ant_, rx_ant_, h_self);
   medium.set_pair_gain(jam_ant_, rx_ant_, h_jam_rec);
+}
 
+void ShieldNode::reset(const ShieldConfig& config, channel::Medium& medium,
+                       sim::EventLog* log, std::uint64_t seed) {
+  // Mirror of the constructor, member for member (the campaign trial-pool
+  // determinism test asserts the equivalence). Only jamgen_ keeps state:
+  // its cached spectral profile, which is seed-independent.
+  config_ = config;
+  log_ = log;
+  rng_ = dsp::Rng(seed, "shield");
+  jamgen_.reset(config.fsk, config.jam_profile, seed, config.jam_fft_size);
+  antidote_ = AntidoteController(config.hardware_error_sigma, seed);
+  sid_ = SidMatcher(make_shield_sid(config), config.bthresh,
+                    /*exact_suffix_bits=*/1);
+  monitor_ = phy::FskReceiver(config.fsk);
+  modulator_ = phy::FskModulator(config.fsk);
+  tx_ = sim::TransmitScheduler();
+  probe_waveform_ = make_probe_waveform(
+      std::min(config.probe_length, medium.block_size()), seed);
+  probe_amplitude_ = std::sqrt(dsp::dbm_to_mw(config.probe_power_dbm));
+  noise_floor_mw_ = dsp::dbm_to_mw(kInitialNoiseFloorDbm);
+
+  probe_phase_ = ProbePhase::kNone;
+  probe_due_ = true;
+  last_probe_s_ = -1.0;
+  active_jam_ = false;
+  manual_jam_ = false;
+  antidote_enabled_ = true;
+  jammed_this_block_ = false;
+  jam_block_.clear();
+  active_jam_started_block_ = 0;
+  quiet_blocks_ = 0;
+  high_power_suspect_ = false;
+  passive_windows_.clear();
+  pending_.clear();
+  own_tx_ranges_.clear();
+  own_tx_block_.clear();
+  transmitted_this_block_ = false;
+  self_cancel_error_ = cplx{0.0, 0.0};
+  last_block_power_ = 0.0;
+  imd_rssi_mw_ = 0.0;
+  jam_power_override_dbm_.reset();
+  sid_checked_bits_ = 0;
+  current_lock_start_ = 0;
+  current_lock_peak_power_ = 0.0;
+  decoded_replies_.clear();
+  capture_frames_ = false;
+  captured_frames_.clear();
+  stats_ = ShieldStats{};
+
+  register_with_medium(medium);
   jamgen_.set_power(dsp::dbm_to_mw(jam_power_dbm()));
 }
 

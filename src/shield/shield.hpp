@@ -50,6 +50,16 @@ class ShieldNode : public sim::RadioNode {
   ShieldNode(const ShieldConfig& config, channel::Medium& medium,
              sim::EventLog* log, std::uint64_t seed);
 
+  /// Returns the node to the state a fresh `ShieldNode(config, medium,
+  /// log, seed)` would have, re-registering its antennas and pair gains
+  /// with `medium` (which the caller has just reset). Reuses the jamming
+  /// generator's cached spectral profile when the FSK parameters are
+  /// unchanged — the expensive part of construction — so a reset shield
+  /// behaves bit-identically to a newly built one at a fraction of the
+  /// cost. Part of the campaign engine's trial-context pool.
+  void reset(const ShieldConfig& config, channel::Medium& medium,
+             sim::EventLog* log, std::uint64_t seed);
+
   // sim::RadioNode
   void produce(const sim::StepContext& ctx, channel::Medium& medium) override;
   void consume(const sim::StepContext& ctx, channel::Medium& medium) override;
@@ -97,6 +107,10 @@ class ShieldNode : public sim::RadioNode {
 
  private:
   enum class ProbePhase { kNone, kJamAntenna, kSelfLoop };
+
+  /// Adds the two antennas and their hardware-coupling pair gains to the
+  /// medium (shared by the constructor and reset()).
+  void register_with_medium(channel::Medium& medium);
 
   void start_active_jam(const sim::StepContext& ctx, double trigger_rssi,
                         bool from_own_tx);

@@ -1,0 +1,77 @@
+#include "shield/trial_context.hpp"
+
+namespace hs::shield {
+
+Deployment& TrialContext::deployment(const DeploymentOptions& options) {
+  if (deployment_ != nullptr && deployment_->can_reset_to(options)) {
+    deployment_->reset(options);
+    ++deployments_reused_;
+  } else {
+    deployment_ = std::make_unique<Deployment>(options);
+    ++deployments_built_;
+  }
+  return *deployment_;
+}
+
+adversary::MonitorNode& TrialContext::monitor(
+    const adversary::MonitorConfig& config) {
+  if (monitor_ == nullptr) {
+    monitor_ =
+        std::make_unique<adversary::MonitorNode>(config, deployment_->medium());
+  } else {
+    monitor_->reset(config, deployment_->medium());
+  }
+  deployment_->add_node(monitor_.get());
+  return *monitor_;
+}
+
+imd::ProgrammerNode& TrialContext::programmer(
+    const imd::ProgrammerConfig& config) {
+  if (programmer_ == nullptr) {
+    programmer_ = std::make_unique<imd::ProgrammerNode>(
+        config, deployment_->medium(), &deployment_->log());
+  } else {
+    programmer_->reset(config, deployment_->medium(), &deployment_->log());
+  }
+  deployment_->add_node(programmer_.get());
+  return *programmer_;
+}
+
+adversary::ActiveAdversaryNode& TrialContext::active_adversary(
+    const adversary::ActiveAdversaryConfig& config) {
+  if (adversary_ == nullptr) {
+    adversary_ = std::make_unique<adversary::ActiveAdversaryNode>(
+        config, deployment_->medium(), &deployment_->log());
+  } else {
+    adversary_->reset(config, deployment_->medium(), &deployment_->log());
+  }
+  deployment_->add_node(adversary_.get());
+  return *adversary_;
+}
+
+JammingSignalGenerator& TrialContext::jamgen(const phy::FskParams& fsk,
+                                             JamProfile profile,
+                                             std::uint64_t seed,
+                                             std::size_t fft_size) {
+  if (jamgen_ == nullptr) {
+    jamgen_ =
+        std::make_unique<JammingSignalGenerator>(fsk, profile, seed, fft_size);
+  } else {
+    jamgen_->reset(fsk, profile, seed, fft_size);
+  }
+  return *jamgen_;
+}
+
+adversary::CrossTrafficNode& TrialContext::cross_traffic(
+    const adversary::CrossTrafficConfig& config, std::uint64_t seed) {
+  if (cross_traffic_ == nullptr) {
+    cross_traffic_ = std::make_unique<adversary::CrossTrafficNode>(
+        config, deployment_->medium(), seed);
+  } else {
+    cross_traffic_->reset(config, deployment_->medium(), seed);
+  }
+  deployment_->add_node(cross_traffic_.get());
+  return *cross_traffic_;
+}
+
+}  // namespace hs::shield

@@ -17,6 +17,15 @@ class Timeline {
   /// Registers a node. Nodes step in registration order. Not owned.
   void add_node(RadioNode* node);
 
+  /// Drops all registered nodes, clears the event log and rewinds the
+  /// block counter to zero. Callers re-register their (reset) nodes in
+  /// construction order afterwards; used by Deployment::reset.
+  void reset() {
+    nodes_.clear();
+    block_index_ = 0;
+    log_.clear();
+  }
+
   /// Advances one block.
   void step();
 

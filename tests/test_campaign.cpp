@@ -9,6 +9,8 @@
 #include "campaign/scenario.hpp"
 #include "campaign/stats.hpp"
 #include "dsp/rng.hpp"
+#include "shield/calibrate.hpp"
+#include "shield/trial_context.hpp"
 
 namespace hs::campaign {
 namespace {
@@ -195,9 +197,86 @@ TEST(Campaign, ChunkAccumulatorsMatchSerialReference) {
   EXPECT_EQ(st.max(), reference.max());
 }
 
+TEST(TrialContext, DeploymentResetMatchesFreshConstruction) {
+  shield::DeploymentOptions first;
+  first.seed = 11;
+  shield::DeploymentOptions second;
+  second.seed = 22;
+  second.shield_config.hardware_error_sigma = 0.1;
+  second.shield_config.jam_profile = shield::JamProfile::kConstant;
+
+  shield::Deployment fresh_first(first);
+  const double want_first = shield::measure_cancellation_db(fresh_first);
+  shield::Deployment fresh_second(second);
+  const double want_second = shield::measure_cancellation_db(fresh_second);
+
+  // One pooled deployment, reset across both configurations and back:
+  // every measurement must be bit-identical to the fresh ones.
+  shield::Deployment pooled(first);
+  ASSERT_TRUE(pooled.can_reset_to(second));
+  pooled.reset(second);
+  EXPECT_EQ(shield::measure_cancellation_db(pooled), want_second);
+  pooled.reset(first);
+  EXPECT_EQ(shield::measure_cancellation_db(pooled), want_first);
+
+  // A structural change (observer node) forces a rebuild instead.
+  shield::DeploymentOptions observed = first;
+  observed.with_observer = true;
+  EXPECT_FALSE(pooled.can_reset_to(observed));
+}
+
+TEST(TrialContext, PoolReusesAndStaysBitIdentical) {
+  // The tentpole determinism claim: per-point aggregates with the
+  // trial-context pool are bit-identical to fresh per-trial construction,
+  // at 1 and N threads, across experiment kinds. Scenarios are shrunk
+  // copies of the real presets so the test covers the genuine trial code
+  // paths in milliseconds-per-trial territory.
+  struct Case {
+    const char* preset;
+    std::vector<double> axis_values;  // empty keeps the preset's axis
+    std::size_t units_per_trial;
+    std::size_t trials;
+  };
+  const std::vector<Case> cases = {
+      {"fig8-tradeoff", {10.0, 20.0}, 1, 2},     // kEavesdrop
+      {"fig11-trigger", {1.0, 9.0}, 1, 2},       // kActiveAttack
+      {"fig7-cancellation", {}, 1, 3},           // kCancellation
+      {"table2-coexistence", {3.0}, 1, 2},       // kCoexistence
+      {"fig3-imd-timing", {}, 1, 2},             // kImdTiming
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.preset);
+    const Scenario* preset = find_scenario(c.preset);
+    ASSERT_NE(preset, nullptr);
+    Scenario s = *preset;
+    if (!c.axis_values.empty()) s.axis_values = c.axis_values;
+    s.units_per_trial = c.units_per_trial;
+    s.default_trials = c.trials;
+
+    CampaignOptions fresh;
+    fresh.seed = 7;
+    fresh.threads = 1;
+    fresh.reuse_deployments = false;
+    const auto reference = run_campaign(s, fresh);
+    EXPECT_EQ(reference.deployments_reused, 0u);
+
+    CampaignOptions pooled = fresh;
+    pooled.reuse_deployments = true;
+    const auto reused = run_campaign(s, pooled);
+    expect_identical(reference, reused);
+    // The pool must actually have kicked in, not silently rebuilt.
+    EXPECT_GT(reused.deployments_reused, 0u);
+
+    CampaignOptions pooled_mt = pooled;
+    pooled_mt.threads = 3;
+    expect_identical(reference, run_campaign(s, pooled_mt));
+  }
+}
+
 TEST(Campaign, EveryPresetExpandsAndSeeds) {
   for (const auto& s : scenario_presets()) {
     EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.description.empty()) << s.name;
     EXPECT_GE(s.point_count(), 1u);
     EXPECT_GT(s.default_trials, 0u);
     EXPECT_FALSE(metrics_for(s.kind).empty());
@@ -234,10 +313,14 @@ TEST(Report, CsvAndJsonWellFormed) {
 
   CampaignOptions serial = opt;
   serial.threads = 1;
-  const auto snapshot =
-      perf_snapshot_json(run_campaign(s, serial), result);
+  CampaignOptions no_reuse = serial;
+  no_reuse.reuse_deployments = false;
+  const auto snapshot = perf_snapshot_json(
+      run_campaign(s, no_reuse), run_campaign(s, serial), result);
   EXPECT_NE(snapshot.find("\"bench\": \"campaign_runner\""),
             std::string::npos);
+  EXPECT_NE(snapshot.find("\"serial_no_reuse\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"reuse_speedup\""), std::string::npos);
   EXPECT_NE(snapshot.find("\"speedup\""), std::string::npos);
 }
 

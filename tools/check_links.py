@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for docs/*.md and README.md.
+
+Verifies that every relative link and image target resolves to an
+existing file (optionally with a #fragment), and that intra-document
+fragments point at a real heading. External http(s)/mailto links are
+only syntax-checked, so the check stays hermetic for CI.
+
+Exit status: 0 when every link resolves, 1 otherwise (each failure is
+printed as `file: broken link 'target'`).
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def document_anchors(path: Path) -> set:
+    text = path.read_text(encoding="utf-8")
+    return {slugify(h) for h in HEADING_RE.findall(text)}
+
+
+def check_file(path: Path) -> list:
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    # Fenced code blocks routinely contain example snippets; skip them.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = (path.parent / base).resolve() if base else path.resolve()
+        if base and not resolved.exists():
+            failures.append(f"{path}: broken link '{target}'")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if slugify(fragment) not in document_anchors(resolved):
+                failures.append(f"{path}: broken anchor '{target}'")
+    return failures
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = sorted((root / "docs").glob("*.md")) + [root / "README.md"]
+    failures = []
+    for f in files:
+        failures.extend(check_file(f))
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(f"check_links: {len(files)} files, "
+          f"{'FAIL' if failures else 'ok'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
