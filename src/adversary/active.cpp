@@ -85,7 +85,7 @@ void ActiveAdversaryNode::produce(const sim::StepContext& ctx,
 
 void ActiveAdversaryNode::consume(const sim::StepContext&,
                                   channel::Medium& medium) {
-  receiver_.push(medium.rx(antenna_));
+  receiver_.push(medium.rx_soa(antenna_));
   while (auto frame = receiver_.pop()) {
     if (frame->decode.status == phy::DecodeStatus::kOk) {
       recordings_.push_back(std::move(*frame));

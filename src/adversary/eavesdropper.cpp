@@ -13,7 +13,9 @@ EavesdropResult eavesdrop_decode(const phy::FskParams& fsk,
                                  phy::BitView truth) {
   EavesdropResult result;
   phy::NoncoherentFskDemod demod(fsk);
-  result.bits = demod.demodulate(capture, start, truth.size());
+  // One deinterleave pass buys the split-plane symbol correlators.
+  const dsp::SoaSamples soa = dsp::to_soa(capture);
+  result.bits = demod.demodulate(soa.view(), start, truth.size());
   result.ber = phy::bit_error_rate(truth, result.bits);
   return result;
 }
@@ -31,8 +33,10 @@ EavesdropResult eavesdrop_decode_bandpass(const phy::FskParams& fsk,
       dsp::design_bandpass(fsk.f0, half_bw_hz, fsk.fs, kTaps));
   dsp::ComplexFirFilter filter1(
       dsp::design_bandpass(fsk.f1, half_bw_hz, fsk.fs, kTaps));
-  const dsp::Samples y0 = filter0.process(capture);
-  const dsp::Samples y1 = filter1.process(capture);
+  const dsp::SoaSamples soa = dsp::to_soa(capture);
+  dsp::SoaSamples y0, y1;
+  filter0.process(soa.view(), y0);
+  filter1.process(soa.view(), y1);
   const std::size_t delay = (kTaps - 1) / 2;  // linear-phase group delay
 
   result.bits.reserve(truth.size());
@@ -42,8 +46,8 @@ EavesdropResult eavesdrop_decode_bandpass(const phy::FskParams& fsk,
     if (b > y0.size()) break;
     double e0 = 0.0, e1 = 0.0;
     for (std::size_t i = a; i < b; ++i) {
-      e0 += std::norm(y0[i]);
-      e1 += std::norm(y1[i]);
+      e0 += y0.re()[i] * y0.re()[i] + y0.im()[i] * y0.im()[i];
+      e1 += y1.re()[i] * y1.re()[i] + y1.im()[i] * y1.im()[i];
     }
     result.bits.push_back(e1 > e0 ? 1 : 0);
   }

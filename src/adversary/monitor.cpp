@@ -32,13 +32,13 @@ void MonitorNode::produce(const sim::StepContext&, channel::Medium&) {
 
 void MonitorNode::consume(const sim::StepContext& ctx,
                           channel::Medium& medium) {
-  const auto rx = medium.rx(antenna_);
   if (config_.capture_samples && capture_.size() < config_.capture_limit) {
+    const auto rx = medium.rx(antenna_);
     if (capture_.empty()) capture_start_ = ctx.block_start_sample();
     capture_.insert(capture_.end(), rx.begin(), rx.end());
   }
   if (!config_.decode_enabled) return;
-  receiver_.push(rx);
+  receiver_.push(medium.rx_soa(antenna_));
   while (auto frame = receiver_.pop()) {
     frames_.push_back(std::move(*frame));
   }

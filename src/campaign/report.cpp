@@ -2,26 +2,73 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <string_view>
 
 namespace hs::campaign {
 
 namespace {
 
+/// RFC 4180 field quoting: fields containing a comma, double quote, CR or
+/// LF are wrapped in double quotes with embedded quotes doubled. Preset
+/// descriptions routinely contain commas; without this they shear the
+/// column layout.
+std::string csv_field(std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Minimal JSON string escaping (quote, backslash, control characters).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 void append_row_metrics(std::string& out, const PointResult& point,
-                        Metric metric, const char* fmt_prefix) {
+                        Metric metric, const std::string& prefix,
+                        const std::string& suffix) {
   const auto& st = point.stats(metric);
   char buf[512];
   if (metric_is_indicator(metric)) {
     const auto w = wilson_interval(st);
-    std::snprintf(buf, sizeof buf, "%s%zu,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g\n",
-                  fmt_prefix, st.count(), st.mean(), st.stddev(), st.min(),
-                  st.max(), w.lo, w.hi);
+    std::snprintf(buf, sizeof buf, "%zu,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g",
+                  st.count(), st.mean(), st.stddev(), st.min(), st.max(),
+                  w.lo, w.hi);
   } else {
-    std::snprintf(buf, sizeof buf, "%s%zu,%.9g,%.9g,%.9g,%.9g,,\n",
-                  fmt_prefix, st.count(), st.mean(), st.stddev(), st.min(),
-                  st.max());
+    std::snprintf(buf, sizeof buf, "%zu,%.9g,%.9g,%.9g,%.9g,,",
+                  st.count(), st.mean(), st.stddev(), st.min(), st.max());
   }
+  out += prefix;
   out += buf;
+  out += suffix;
+  out += '\n';
 }
 
 }  // namespace
@@ -29,17 +76,23 @@ void append_row_metrics(std::string& out, const PointResult& point,
 std::string to_csv(const CampaignResult& result) {
   std::string out =
       "scenario,axis,axis_value,metric,count,mean,stddev,min,max,"
-      "wilson_lo,wilson_hi\n";
+      "wilson_lo,wilson_hi,description\n";
   const auto& metrics = metrics_for(result.scenario.kind);
+  std::string suffix = ",";
+  suffix += csv_field(result.scenario.description);
   for (const auto& point : result.points) {
     for (Metric metric : metrics) {
-      char prefix[192];
-      std::snprintf(prefix, sizeof prefix, "%s,%s,%.9g,%s,",
-                    result.scenario.name.c_str(),
-                    std::string(axis_name(result.scenario.axis)).c_str(),
-                    point.axis_value,
-                    std::string(metric_name(metric)).c_str());
-      append_row_metrics(out, point, metric, prefix);
+      char axis_value[64];
+      std::snprintf(axis_value, sizeof axis_value, "%.9g", point.axis_value);
+      std::string prefix = csv_field(result.scenario.name);
+      prefix += ',';
+      prefix += csv_field(axis_name(result.scenario.axis));
+      prefix += ',';
+      prefix += axis_value;
+      prefix += ',';
+      prefix += csv_field(metric_name(metric));
+      prefix += ',';
+      append_row_metrics(out, point, metric, prefix, suffix);
     }
   }
   return out;
@@ -48,10 +101,17 @@ std::string to_csv(const CampaignResult& result) {
 std::string to_json(const CampaignResult& result) {
   std::string out;
   char buf[512];
+  // The string fields (description in particular) have no length bound,
+  // so they are appended as std::strings rather than routed through the
+  // fixed snprintf buffer, which would silently truncate to broken JSON.
+  out += "{\n  \"scenario\": \"";
+  out += json_escape(result.scenario.name);
+  out += "\",\n  \"paper_ref\": \"";
+  out += json_escape(result.scenario.paper_ref);
+  out += "\",\n  \"description\": \"";
+  out += json_escape(result.scenario.description);
+  out += "\",\n";
   std::snprintf(buf, sizeof buf,
-                "{\n"
-                "  \"scenario\": \"%s\",\n"
-                "  \"paper_ref\": \"%s\",\n"
                 "  \"seed\": %" PRIu64 ",\n"
                 "  \"threads\": %u,\n"
                 "  \"trials_per_point\": %zu,\n"
@@ -60,8 +120,7 @@ std::string to_json(const CampaignResult& result) {
                 "  \"trials_per_second\": %.3f,\n"
                 "  \"axis\": \"%s\",\n"
                 "  \"points\": [\n",
-                result.scenario.name.c_str(),
-                result.scenario.paper_ref.c_str(), result.options.seed,
+                result.options.seed,
                 result.options.threads,
                 result.options.trials_per_point > 0
                     ? result.options.trials_per_point

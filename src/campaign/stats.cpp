@@ -37,8 +37,8 @@ void StreamingStats::merge(const StreamingStats& other) {
 }
 
 double StreamingStats::variance() const {
-  if (count_ == 0) return 0.0;
-  return std::max(m2_ / static_cast<double>(count_), 0.0);
+  if (count_ < 2) return 0.0;
+  return std::max(m2_ / static_cast<double>(count_ - 1), 0.0);
 }
 
 double StreamingStats::stddev() const { return std::sqrt(variance()); }

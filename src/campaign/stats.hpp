@@ -24,8 +24,12 @@ class StreamingStats {
 
   std::size_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
-  /// Population variance/stddev (divides by n), matching the conventions
-  /// of the bench summaries this subsystem replaces.
+  /// Unbiased sample variance/stddev (Bessel's correction, divides by
+  /// n-1) — the estimator the campaign confidence reporting consumes.
+  /// Returns 0 for fewer than two samples. merge() stays exact: it
+  /// combines raw second moments (m2), so merged and sequential
+  /// accumulation agree bit-for-bit regardless of the divisor applied
+  /// here at read time.
   double variance() const;
   double stddev() const;
   double min() const { return count_ ? min_ : 0.0; }

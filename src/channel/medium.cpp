@@ -34,15 +34,19 @@ void Medium::reset(double fs, std::size_t block_size, std::uint64_t seed,
   tx_.clear();
   tx_active_.clear();
   rx_.clear();
+  rx_aos_.clear();
+  rx_aos_valid_.clear();
   noise_enabled_ = true;
 }
 
 AntennaId Medium::add_antenna(const AntennaDesc& desc) {
   const AntennaId id = antennas_.size();
   antennas_.push_back(desc);
-  tx_.emplace_back(block_size_, cplx{});
+  tx_.emplace_back(block_size_);
   tx_active_.push_back(false);
-  rx_.emplace_back(block_size_, cplx{});
+  rx_.emplace_back(block_size_);
+  rx_aos_.emplace_back();
+  rx_aos_valid_.push_back(false);
 
   // Grow the pair matrix to (n+1)^2, preserving existing entries.
   const std::size_t n = antennas_.size();
@@ -128,7 +132,7 @@ cplx Medium::gain(AntennaId from, AntennaId to) const {
 void Medium::begin_block() {
   for (std::size_t i = 0; i < tx_.size(); ++i) {
     if (tx_active_[i]) {
-      std::fill(tx_[i].begin(), tx_[i].end(), cplx{});
+      tx_[i].fill_zero();
       tx_active_[i] = false;
     }
   }
@@ -139,7 +143,26 @@ void Medium::set_tx(AntennaId from, dsp::SampleView samples) {
     throw std::invalid_argument("Medium::set_tx: block too large");
   }
   auto& buf = tx_.at(from);
-  for (std::size_t i = 0; i < samples.size(); ++i) buf[i] += samples[i];
+  double* re = buf.re();
+  double* im = buf.im();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    re[i] += samples[i].real();
+    im[i] += samples[i].imag();
+  }
+  tx_active_[from] = true;
+}
+
+void Medium::set_tx(AntennaId from, dsp::SoaView samples) {
+  if (samples.size() > block_size_) {
+    throw std::invalid_argument("Medium::set_tx: block too large");
+  }
+  auto& buf = tx_.at(from);
+  double* re = buf.re();
+  double* im = buf.im();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    re[i] += samples.re[i];
+    im[i] += samples.im[i];
+  }
   tx_active_[from] = true;
 }
 
@@ -152,25 +175,51 @@ void Medium::mix() {
   for (AntennaId to = 0; to < antennas_.size(); ++to) {
     auto& out = rx_[to];
     if (n0 > 0.0) {
-      rng_.fill_awgn(out, n0);
+      rng_.fill_awgn(out.view(), n0);
     } else {
-      std::fill(out.begin(), out.end(), cplx{});
+      out.fill_zero();
     }
+    double* ore = out.re();
+    double* oim = out.im();
     for (AntennaId from = 0; from < antennas_.size(); ++from) {
       if (!tx_active_[from]) continue;
       const cplx g = gain(from, to);
       if (std::norm(g) <= 0.0) continue;
-      const auto& in = tx_[from];
-      for (std::size_t i = 0; i < block_size_; ++i) out[i] += g * in[i];
+      const double gr = g.real();
+      const double gi = g.imag();
+      const double* ire = tx_[from].re();
+      const double* iim = tx_[from].im();
+      // out[i] += g * in[i], expanded exactly as -fcx-limited-range
+      // compiles the complex form, but over four contiguous planes.
+      for (std::size_t i = 0; i < block_size_; ++i) {
+        ore[i] += gr * ire[i] - gi * iim[i];
+        oim[i] += gr * iim[i] + gi * ire[i];
+      }
     }
+    rx_aos_valid_[to] = false;
   }
 }
 
-dsp::SampleView Medium::rx(AntennaId at) const { return rx_.at(at); }
+dsp::SampleView Medium::rx(AntennaId at) const {
+  dsp::Samples& aos = rx_aos_.at(at);
+  if (!rx_aos_valid_.at(at)) {
+    aos.resize(block_size_);
+    dsp::to_aos(rx_.at(at).view(), aos);
+    rx_aos_valid_[at] = true;
+  }
+  return aos;
+}
+
+dsp::SoaView Medium::rx_soa(AntennaId at) const { return rx_.at(at).view(); }
 
 double Medium::rx_power(AntennaId at) const {
+  const auto& x = rx_.at(at);
+  const double* re = x.re();
+  const double* im = x.im();
   double s = 0.0;
-  for (const cplx& x : rx_.at(at)) s += std::norm(x);
+  for (std::size_t i = 0; i < block_size_; ++i) {
+    s += re[i] * re[i] + im[i] * im[i];
+  }
   return s / static_cast<double>(block_size_);
 }
 

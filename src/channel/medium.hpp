@@ -89,11 +89,27 @@ class Medium {
   /// the current block. Multiple calls accumulate.
   void set_tx(AntennaId from, dsp::SampleView samples);
 
+  /// Split-complex overload: accumulates plane-wise with no layout
+  /// conversion (the fast path for SoA producers like the jamming
+  /// generator).
+  void set_tx(AntennaId from, dsp::SoaView samples);
+
   /// Superposes all transmissions plus thermal noise at every antenna.
+  /// Internally everything runs on split re/im planes so the per-pair
+  /// multiply-accumulate and the noise fill autovectorize.
   void mix();
 
-  /// Received samples at `at` for the block just mixed.
+  /// Received samples at `at` for the block just mixed (AoS view,
+  /// materialized lazily from the internal planes on first call per
+  /// block; SoA consumers should prefer rx_soa()). NOTE: despite being
+  /// const, the lazy materialization mutates a per-antenna cache, so
+  /// concurrent rx() calls on a shared Medium race; rx_soa() is the
+  /// read-only accessor. (Today every campaign worker owns its Medium.)
   dsp::SampleView rx(AntennaId at) const;
+
+  /// Received samples at `at` as split-complex planes — no conversion
+  /// cost; bit-identical sample values to rx().
+  dsp::SoaView rx_soa(AntennaId at) const;
 
   /// Mean received power (linear mW) at `at` for the block just mixed.
   double rx_power(AntennaId at) const;
@@ -133,9 +149,13 @@ class Medium {
 
   std::vector<AntennaDesc> antennas_;
   std::vector<PairState> pairs_;  // row-major [from][to]
-  std::vector<dsp::Samples> tx_;
+  std::vector<dsp::SoaSamples> tx_;
   std::vector<bool> tx_active_;
-  std::vector<dsp::Samples> rx_;
+  std::vector<dsp::SoaSamples> rx_;
+  /// Lazily interleaved copies of rx_ for AoS consumers; entry `a` is
+  /// valid only when rx_aos_valid_[a]. Invalidated by mix()/reset().
+  mutable std::vector<dsp::Samples> rx_aos_;
+  mutable std::vector<bool> rx_aos_valid_;
   bool noise_enabled_ = true;
 };
 

@@ -131,7 +131,7 @@ Sha256::Digest hmac_sha256(ByteView key, ByteView message) {
   if (key.size() > 64) {
     const auto d = Sha256::hash(key);
     std::memcpy(k.data(), d.data(), d.size());
-  } else {
+  } else if (!key.empty()) {  // empty ByteView has a null data() — UB in memcpy
     std::memcpy(k.data(), key.data(), key.size());
   }
   std::array<std::uint8_t, 64> ipad, opad;

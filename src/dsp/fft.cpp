@@ -1,6 +1,9 @@
 #include "dsp/fft.hpp"
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -16,6 +19,46 @@ bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
 namespace {
 
+// Per-size cache of forward twiddle factors w[k] = exp(-i 2 pi k / n),
+// k in [0, n/2). Each factor is computed directly by std::polar, so it is
+// accurate to ~1 ulp regardless of n — unlike the previous per-butterfly
+// `w *= wlen` recurrence, whose phase error grows with the number of
+// multiplies (O(n * eps) by the last stage) exactly where the jamming
+// profile and cancellation benches measure -40 dB features.
+//
+// The cache is shared by all threads: campaign workers transform
+// concurrently, so the map is mutex-guarded. Entries are never evicted and
+// their storage never moves, so the returned reference stays valid for the
+// program's lifetime while later insertions proceed.
+struct TwiddleTable {
+  std::size_t n = 0;
+  std::vector<cplx> w;  // forward twiddles, size n/2
+
+  explicit TwiddleTable(std::size_t size) : n(size), w(size / 2) {
+    for (std::size_t k = 0; k < w.size(); ++k) {
+      w[k] = std::polar(1.0, -kTwoPi * static_cast<double>(k) /
+                                 static_cast<double>(n));
+    }
+  }
+};
+
+const TwiddleTable& twiddles_for(std::size_t n) {
+  // Each worker thread transforms at one or two fixed sizes (jamgen
+  // fft_size, equalizer taps), so a thread-local memo of the last table
+  // keeps the steady state lock-free; the mutex is only taken when a
+  // thread first meets a size. Entries are never deleted, so the cached
+  // pointer can never dangle.
+  thread_local const TwiddleTable* last = nullptr;
+  if (last != nullptr && last->n == n) return *last;
+  static std::mutex mu;
+  static std::map<std::size_t, std::unique_ptr<const TwiddleTable>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[n];
+  if (!slot) slot = std::make_unique<const TwiddleTable>(n);
+  last = slot.get();
+  return *slot;
+}
+
 void transform(MutSampleView data, bool inverse) {
   const std::size_t n = data.size();
   if (!is_pow2(n)) {
@@ -28,18 +71,22 @@ void transform(MutSampleView data, bool inverse) {
     j ^= bit;
     if (i < j) std::swap(data[i], data[j]);
   }
-  // Butterflies.
+  if (n < 2) return;
+  // Butterflies, twiddles read from the cached table: the stage of length
+  // `len` uses every (n/len)-th entry. The inverse transform conjugates on
+  // the fly (one negation per butterfly, cheaper than a second table).
+  const TwiddleTable& table = twiddles_for(n);
+  const cplx* tw = table.w.data();
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
-    const cplx wlen(std::cos(ang), std::sin(ang));
+    const std::size_t stride = n / len;
     for (std::size_t i = 0; i < n; i += len) {
-      cplx w(1.0, 0.0);
       for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx wk = tw[k * stride];
+        const cplx w = inverse ? std::conj(wk) : wk;
         const cplx u = data[i + k];
         const cplx v = data[i + k + len / 2] * w;
         data[i + k] = u + v;
         data[i + k + len / 2] = u - v;
-        w *= wlen;
       }
     }
   }
@@ -63,8 +110,16 @@ Samples fft(SampleView input) {
 }
 
 Samples ifft(SampleView input) {
+  if (!is_pow2(input.size())) {
+    // Padding a *spectrum* would silently rescale and re-grid the signal,
+    // which is how the old pad-anything behavior corrupted
+    // ifft(fft(x)) round-trips for non-power-of-two x. A non-2^k bin
+    // vector is a caller bug, not something to paper over.
+    throw std::invalid_argument(
+        "ifft: bin count must be a power of two (fft() zero-pads its "
+        "time-domain input, so spectra are always 2^k bins)");
+  }
   Samples out(input.begin(), input.end());
-  out.resize(next_pow2(out.empty() ? 1 : out.size()));
   ifft_inplace(out);
   return out;
 }

@@ -1,5 +1,7 @@
 #include "dsp/fir.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -99,6 +101,54 @@ Samples FirFilter::process(SampleView in) {
   return out;
 }
 
+void FirFilter::process(SoaView in, SoaSamples& out) {
+  // `in` must not view `out`: the resize below may reallocate the planes.
+  assert(!soa_views_overlap(in, out.view()));
+  const std::size_t t = taps_.size();
+  const std::size_t m = in.size();
+  if (m == 0) return;
+  const std::size_t hist = t - 1;
+  // Contiguous split-plane window: the last t-1 samples in chronological
+  // order followed by the new block. out[i] is then the tap dot-product
+  // against ext[hist + i - k], k ascending — the same newest-first order
+  // (and therefore the same rounding) as the per-sample path, but over
+  // plane loads the vectorizer can work with.
+  ext_re_.resize(hist + m);
+  ext_im_.resize(hist + m);
+  for (std::size_t j = 0; j < hist; ++j) {
+    const cplx& h = history_[(pos_ + t - 1 - j) % t];
+    ext_re_[hist - 1 - j] = h.real();
+    ext_im_[hist - 1 - j] = h.imag();
+  }
+  std::copy(in.re, in.re + m, ext_re_.begin() + static_cast<long>(hist));
+  std::copy(in.im, in.im + m, ext_im_.begin() + static_cast<long>(hist));
+
+  const std::size_t base = out.size();
+  out.resize(base + m);
+  double* ore = out.re() + base;
+  double* oim = out.im() + base;
+  const double* tp = taps_.data();
+  const double* xr = ext_re_.data();
+  const double* xi = ext_im_.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    double ar = 0.0, ai = 0.0;
+    for (std::size_t k = 0; k < t; ++k) {
+      ar += tp[k] * xr[hist + i - k];
+      ai += tp[k] * xi[hist + i - k];
+    }
+    ore[i] = ar;
+    oim[i] = ai;
+  }
+  // Streaming-state writeback, identical to what m scalar calls leave.
+  // Values come from the ext_ scratch (which holds the whole block and
+  // cannot dangle) rather than `in`, belt-and-braces against callers
+  // that violate the no-aliasing contract.
+  for (std::size_t i = m - std::min(t, m); i < m; ++i) {
+    history_[(pos_ + i) % t] = {xr[hist + i], xi[hist + i]};
+  }
+  pos_ = (pos_ + m) % t;
+}
+
 void FirFilter::reset() {
   history_.assign(taps_.size(), cplx{});
   pos_ = 0;
@@ -109,6 +159,12 @@ ComplexFirFilter::ComplexFirFilter(Samples taps) : taps_(std::move(taps)) {
     throw std::invalid_argument("ComplexFirFilter: empty taps");
   }
   history_.assign(taps_.size(), cplx{});
+  tap_re_.resize(taps_.size());
+  tap_im_.resize(taps_.size());
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    tap_re_[k] = taps_[k].real();
+    tap_im_[k] = taps_[k].imag();
+  }
 }
 
 cplx ComplexFirFilter::process(cplx x) {
@@ -132,6 +188,48 @@ Samples ComplexFirFilter::process(SampleView in) {
   Samples out;
   process(in, out);
   return out;
+}
+
+void ComplexFirFilter::process(SoaView in, SoaSamples& out) {
+  // `in` must not view `out`: the resize below may reallocate the planes.
+  assert(!soa_views_overlap(in, out.view()));
+  const std::size_t t = taps_.size();
+  const std::size_t m = in.size();
+  if (m == 0) return;
+  const std::size_t hist = t - 1;
+  ext_re_.resize(hist + m);
+  ext_im_.resize(hist + m);
+  for (std::size_t j = 0; j < hist; ++j) {
+    const cplx& h = history_[(pos_ + t - 1 - j) % t];
+    ext_re_[hist - 1 - j] = h.real();
+    ext_im_[hist - 1 - j] = h.imag();
+  }
+  std::copy(in.re, in.re + m, ext_re_.begin() + static_cast<long>(hist));
+  std::copy(in.im, in.im + m, ext_im_.begin() + static_cast<long>(hist));
+
+  const std::size_t base = out.size();
+  out.resize(base + m);
+  double* ore = out.re() + base;
+  double* oim = out.im() + base;
+  const double* tr = tap_re_.data();
+  const double* ti = tap_im_.data();
+  const double* xr = ext_re_.data();
+  const double* xi = ext_im_.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    double ar = 0.0, ai = 0.0;
+    for (std::size_t k = 0; k < t; ++k) {
+      const double vr = xr[hist + i - k];
+      const double vi = xi[hist + i - k];
+      ar += tr[k] * vr - ti[k] * vi;
+      ai += tr[k] * vi + ti[k] * vr;
+    }
+    ore[i] = ar;
+    oim[i] = ai;
+  }
+  for (std::size_t i = m - std::min(t, m); i < m; ++i) {
+    history_[(pos_ + i) % t] = {xr[hist + i], xi[hist + i]};
+  }
+  pos_ = (pos_ + m) % t;
 }
 
 void ComplexFirFilter::reset() {

@@ -42,6 +42,14 @@ class FirFilter {
   /// Filters a whole buffer (stateful; continues from previous calls).
   Samples process(SampleView in);
 
+  /// Split-complex block path, appending to `out`. Real taps over split
+  /// planes reduce to two independent real convolutions over contiguous
+  /// doubles, which autovectorize; the tap order and accumulation order
+  /// match the scalar path, so results (and subsequent streaming state)
+  /// are bit-identical to per-sample process() calls. `in` must not view
+  /// `out` (growing `out` may reallocate its planes).
+  void process(SoaView in, SoaSamples& out);
+
   /// Clears filter history.
   void reset();
 
@@ -56,6 +64,7 @@ class FirFilter {
   std::vector<double> taps_;
   Samples history_;  // circular
   std::size_t pos_ = 0;
+  std::vector<double> ext_re_, ext_im_;  // block-path scratch
 };
 
 /// Streaming FIR with complex taps (for band-pass filters).
@@ -66,6 +75,11 @@ class ComplexFirFilter {
   cplx process(cplx x);
   void process(SampleView in, Samples& out);
   Samples process(SampleView in);
+
+  /// Split-complex block path; bit-identical to per-sample process().
+  /// `in` must not view `out` (growing `out` may reallocate its planes).
+  void process(SoaView in, SoaSamples& out);
+
   void reset();
 
   std::size_t tap_count() const { return taps_.size(); }
@@ -74,6 +88,8 @@ class ComplexFirFilter {
   Samples taps_;
   Samples history_;
   std::size_t pos_ = 0;
+  std::vector<double> tap_re_, tap_im_;  // split copy of taps_
+  std::vector<double> ext_re_, ext_im_;  // block-path scratch
 };
 
 /// Evaluates the frequency response of a real-tap FIR at `freq_hz` given

@@ -1,5 +1,6 @@
 #include "dsp/mixer.hpp"
 
+#include <cassert>
 #include <cmath>
 
 namespace hs::dsp {
@@ -26,6 +27,24 @@ Samples Mixer::process(SampleView in) {
   Samples out;
   process(in, out);
   return out;
+}
+
+void Mixer::process(SoaView in, SoaSamples& out) {
+  // `in` must not view `out`: the resize below may reallocate the planes.
+  assert(!soa_views_overlap(in, out.view()));
+  const std::size_t base = out.size();
+  out.resize(base + in.size());
+  double* ore = out.re() + base;
+  double* oim = out.im() + base;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double c = std::cos(phase_);
+    const double s = std::sin(phase_);
+    phase_ += phase_step_;
+    if (phase_ > kTwoPi) phase_ -= kTwoPi;
+    if (phase_ < -kTwoPi) phase_ += kTwoPi;
+    ore[i] = in.re[i] * c - in.im[i] * s;
+    oim[i] = in.re[i] * s + in.im[i] * c;
+  }
 }
 
 void Mixer::set_shift(double shift_hz) {

@@ -23,6 +23,12 @@ class Mixer {
   void process(SampleView in, Samples& out);
   Samples process(SampleView in);
 
+  /// Split-complex block path, appending to `out`. The oscillator phase
+  /// recurrence and the multiply expansion match the per-sample path, so
+  /// output and phase state are bit-identical to scalar process() calls.
+  /// `in` must not view `out` (growing `out` may reallocate its planes).
+  void process(SoaView in, SoaSamples& out);
+
   /// Retunes the oscillator without resetting phase.
   void set_shift(double shift_hz);
 

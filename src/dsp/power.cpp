@@ -12,6 +12,15 @@ double mean_power(SampleView x) {
   return s / static_cast<double>(x.size());
 }
 
+double mean_power(SoaView x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.n; ++i) {
+    s += x.re[i] * x.re[i] + x.im[i] * x.im[i];
+  }
+  return s / static_cast<double>(x.n);
+}
+
 double peak_power(SampleView x) {
   double p = 0.0;
   for (cplx v : x) p = std::max(p, std::norm(v));
@@ -21,6 +30,14 @@ double peak_power(SampleView x) {
 double energy(SampleView x) {
   double s = 0.0;
   for (cplx v : x) s += std::norm(v);
+  return s;
+}
+
+double energy(SoaView x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.n; ++i) {
+    s += x.re[i] * x.re[i] + x.im[i] * x.im[i];
+  }
   return s;
 }
 
@@ -50,6 +67,12 @@ double RssiMeter::push(cplx x) {
 double RssiMeter::push(SampleView x) {
   double v = value();
   for (cplx s : x) v = push(s);
+  return v;
+}
+
+double RssiMeter::push(SoaView x) {
+  double v = value();
+  for (std::size_t i = 0; i < x.n; ++i) v = push(cplx{x.re[i], x.im[i]});
   return v;
 }
 

@@ -13,11 +13,17 @@ namespace hs::dsp {
 /// Mean per-sample power of a block (|x|^2 averaged).
 double mean_power(SampleView x);
 
+/// Split-complex overload; bit-identical to the AoS result.
+double mean_power(SoaView x);
+
 /// Peak per-sample power of a block.
 double peak_power(SampleView x);
 
 /// Total energy (sum |x|^2).
 double energy(SampleView x);
+
+/// Split-complex overload; bit-identical to the AoS result.
+double energy(SoaView x);
 
 /// Scales `x` in place so its mean power equals `target_power`.
 /// No-op on all-zero input.
@@ -34,6 +40,9 @@ class RssiMeter {
 
   /// Consumes a block, returns the final windowed mean power.
   double push(SampleView x);
+
+  /// Split-complex overload; bit-identical to the AoS push.
+  double push(SoaView x);
 
   /// Current windowed mean power (0 before any sample).
   double value() const;

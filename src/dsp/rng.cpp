@@ -150,8 +150,27 @@ cplx Rng::random_phase() {
   return {std::cos(phi), std::sin(phi)};
 }
 
+// The fill loops below are the batched ziggurat: gaussian() is defined in
+// this TU, so the compiler inlines it here and hoists the table pointer
+// and the per-sample amplitude out of the loop — the common accept path
+// collapses to draw/mask/compare/multiply per variate. The rare
+// wedge/tail rejections run the identical code `gaussian()` runs, so a
+// fill consumes exactly the same stream draws as the equivalent sequence
+// of scalar calls.
+
 void Rng::fill_awgn(MutSampleView out, double power) {
-  for (auto& x : out) x = cgaussian(power);
+  const double s = std::sqrt(power / 2.0);
+  for (auto& x : out) x = {s * gaussian(), s * gaussian()};
+}
+
+void Rng::fill_awgn(MutSoaView out, double power) {
+  const double s = std::sqrt(power / 2.0);
+  double* re = out.re;
+  double* im = out.im;
+  for (std::size_t i = 0; i < out.n; ++i) {
+    re[i] = s * gaussian();
+    im[i] = s * gaussian();
+  }
 }
 
 bool Rng::bernoulli(double p) { return uniform() < p; }

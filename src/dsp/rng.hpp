@@ -52,6 +52,11 @@ class Rng {
   /// Fills `out` with complex AWGN of the given per-sample power.
   void fill_awgn(MutSampleView out, double power);
 
+  /// Split-complex overload. Draw order is identical to the AoS overload
+  /// (re then im, sample by sample), so both layouts produce bit-identical
+  /// noise from the same stream state.
+  void fill_awgn(MutSoaView out, double power);
+
   /// True with probability p.
   bool bernoulli(double p);
 

@@ -1,9 +1,25 @@
 // Core numeric types shared by every DSP and PHY module.
+//
+// Two sample-buffer layouts coexist:
+//  * AoS (`Samples` = vector<complex<double>>) — the interchange format
+//    every public API accepts, and what the FFT operates on.
+//  * SoA (`SoaSamples` = separate re[]/im[] planes) — the hot-path format.
+//    Split-complex planes let the compiler autovectorize the inner loops
+//    of channel mixing, correlation, FIR filtering and mixing across
+//    contiguous doubles instead of shuffling interleaved re/im pairs.
+// Every SoA fast path in the dsp layer is *sample-exact* against its AoS
+// scalar reference: the split arithmetic uses the same naive
+// complex-multiply formula `-fcx-limited-range` compiles the AoS code to,
+// in the same accumulation order, so adopting a SoA path never changes a
+// result bit.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <complex>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -25,5 +41,170 @@ using MutSampleView = std::span<cplx>;
 
 inline constexpr double kPi = 3.141592653589793238462643383279502884;
 inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Read-only view over a split-complex (SoA) sample run: two parallel
+/// planes of equal length holding the real and imaginary parts.
+struct SoaView {
+  const double* re = nullptr;
+  const double* im = nullptr;
+  std::size_t n = 0;
+
+  std::size_t size() const { return n; }
+  bool empty() const { return n == 0; }
+  cplx operator[](std::size_t i) const { return {re[i], im[i]}; }
+
+  /// Subrange [offset, offset + count).
+  SoaView subview(std::size_t offset, std::size_t count) const {
+    assert(offset + count <= n);
+    return {re + offset, im + offset, count};
+  }
+};
+
+/// Mutable view over a split-complex sample run.
+struct MutSoaView {
+  double* re = nullptr;
+  double* im = nullptr;
+  std::size_t n = 0;
+
+  std::size_t size() const { return n; }
+  bool empty() const { return n == 0; }
+  cplx operator[](std::size_t i) const { return {re[i], im[i]}; }
+  void set(std::size_t i, cplx v) {
+    re[i] = v.real();
+    im[i] = v.imag();
+  }
+
+  operator SoaView() const { return {re, im, n}; }
+  MutSoaView subview(std::size_t offset, std::size_t count) const {
+    assert(offset + count <= n);
+    return {re + offset, im + offset, count};
+  }
+};
+
+/// Owning split-complex sample buffer: `re()[i] + j*im()[i]` is sample i.
+/// The planes always have identical length.
+class SoaSamples {
+ public:
+  SoaSamples() = default;
+  explicit SoaSamples(std::size_t n) : re_(n, 0.0), im_(n, 0.0) {}
+
+  std::size_t size() const { return re_.size(); }
+  bool empty() const { return re_.empty(); }
+  void clear() {
+    re_.clear();
+    im_.clear();
+  }
+  void resize(std::size_t n) {
+    re_.resize(n, 0.0);
+    im_.resize(n, 0.0);
+  }
+  void reserve(std::size_t n) {
+    re_.reserve(n);
+    im_.reserve(n);
+  }
+  void fill_zero() {
+    std::fill(re_.begin(), re_.end(), 0.0);
+    std::fill(im_.begin(), im_.end(), 0.0);
+  }
+
+  double* re() { return re_.data(); }
+  double* im() { return im_.data(); }
+  const double* re() const { return re_.data(); }
+  const double* im() const { return im_.data(); }
+
+  cplx operator[](std::size_t i) const { return {re_[i], im_[i]}; }
+  void set(std::size_t i, cplx v) {
+    re_[i] = v.real();
+    im_[i] = v.imag();
+  }
+
+  SoaView view() const { return {re_.data(), im_.data(), re_.size()}; }
+  MutSoaView view() { return {re_.data(), im_.data(), re_.size()}; }
+  operator SoaView() const { return view(); }
+
+  /// Replaces the contents with a deinterleaved copy of `aos`.
+  void assign(SampleView aos) {
+    resize(aos.size());
+    for (std::size_t i = 0; i < aos.size(); ++i) {
+      re_[i] = aos[i].real();
+      im_[i] = aos[i].imag();
+    }
+  }
+
+  /// Replaces the contents with a copy of another SoA run (plane memcpy).
+  void assign(SoaView soa) {
+    re_.assign(soa.re, soa.re + soa.n);
+    im_.assign(soa.im, soa.im + soa.n);
+  }
+
+  /// Appends a deinterleaved copy of `aos`.
+  void append(SampleView aos) {
+    const std::size_t base = re_.size();
+    resize(base + aos.size());
+    for (std::size_t i = 0; i < aos.size(); ++i) {
+      re_[base + i] = aos[i].real();
+      im_[base + i] = aos[i].imag();
+    }
+  }
+
+  /// Appends a copy of another SoA run (plane-wise, no format conversion).
+  void append(SoaView soa) {
+    re_.insert(re_.end(), soa.re, soa.re + soa.n);
+    im_.insert(im_.end(), soa.im, soa.im + soa.n);
+  }
+
+  /// Drops the first `count` samples (receiver-style buffer compaction).
+  void erase_front(std::size_t count) {
+    re_.erase(re_.begin(), re_.begin() + static_cast<long>(count));
+    im_.erase(im_.begin(), im_.begin() + static_cast<long>(count));
+  }
+
+ private:
+  std::vector<double> re_;
+  std::vector<double> im_;
+};
+
+/// True if two SoA views share any plane storage (re-vs-re or im-vs-im).
+/// Debug-contract helper for block paths whose output may reallocate:
+/// such paths require non-aliasing input. Uses std::less for a total
+/// pointer order across allocations.
+inline bool soa_views_overlap(SoaView a, SoaView b) {
+  if (a.n == 0 || b.n == 0) return false;
+  const std::less<const double*> lt;
+  const bool re_disjoint = !lt(a.re, b.re + b.n) || !lt(b.re, a.re + a.n);
+  const bool im_disjoint = !lt(a.im, b.im + b.n) || !lt(b.im, a.im + a.n);
+  return !(re_disjoint && im_disjoint);
+}
+
+/// Interleaves a SoA run into `out` (sizes must match).
+inline void to_aos(SoaView in, MutSampleView out) {
+  assert(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = {in.re[i], in.im[i]};
+  }
+}
+
+/// Interleaves a SoA run into a fresh AoS vector.
+inline Samples to_aos(SoaView in) {
+  Samples out(in.size());
+  to_aos(in, out);
+  return out;
+}
+
+/// Deinterleaves an AoS run into `out` (sizes must match).
+inline void to_soa(SampleView in, MutSoaView out) {
+  assert(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out.re[i] = in[i].real();
+    out.im[i] = in[i].imag();
+  }
+}
+
+/// Deinterleaves an AoS run into a fresh SoA buffer.
+inline SoaSamples to_soa(SampleView in) {
+  SoaSamples out;
+  out.assign(in);
+  return out;
+}
 
 }  // namespace hs::dsp

@@ -91,7 +91,7 @@ void ImdDevice::produce(const sim::StepContext& ctx, channel::Medium& medium) {
 }
 
 void ImdDevice::consume(const sim::StepContext& ctx, channel::Medium& medium) {
-  receiver_.push(medium.rx(antenna_));
+  receiver_.push(medium.rx_soa(antenna_));
   while (auto rx = receiver_.pop()) {
     ++stats_.frames_detected;
     handle_frame(*rx, ctx);

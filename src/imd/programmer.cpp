@@ -75,7 +75,7 @@ void ProgrammerNode::produce(const sim::StepContext& ctx,
 
 void ProgrammerNode::consume(const sim::StepContext& ctx,
                              channel::Medium& medium) {
-  const auto rx = medium.rx(antenna_);
+  const auto rx = medium.rx_soa(antenna_);
   cca_.push(rx);
   receiver_.push(rx);
   while (auto frame = receiver_.pop()) {

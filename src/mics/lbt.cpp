@@ -16,14 +16,22 @@ ClearChannelAssessment::ClearChannelAssessment(double fs, double listen_s,
       threshold_dbm_(threshold_dbm),
       rssi_(std::max<std::size_t>(1, static_cast<std::size_t>(fs * 1e-3))) {}
 
+void ClearChannelAssessment::push_sample(dsp::cplx x) {
+  const double p = rssi_.push(x);
+  if (rssi_.warmed_up() && p > threshold_power_) {
+    quiet_run_ = 0;
+  } else {
+    ++quiet_run_;
+  }
+}
+
 void ClearChannelAssessment::push(dsp::SampleView samples) {
-  for (dsp::cplx x : samples) {
-    const double p = rssi_.push(x);
-    if (rssi_.warmed_up() && p > threshold_power_) {
-      quiet_run_ = 0;
-    } else {
-      ++quiet_run_;
-    }
+  for (dsp::cplx x : samples) push_sample(x);
+}
+
+void ClearChannelAssessment::push(dsp::SoaView samples) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    push_sample({samples.re[i], samples.im[i]});
   }
 }
 

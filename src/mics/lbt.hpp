@@ -20,6 +20,9 @@ class ClearChannelAssessment {
   /// Feeds received samples. Returns current verdict after this block.
   void push(dsp::SampleView samples);
 
+  /// Split-complex overload; bit-identical verdicts.
+  void push(dsp::SoaView samples);
+
   /// True once the channel has been continuously quiet for the full
   /// listening period.
   bool channel_clear() const;
@@ -33,6 +36,8 @@ class ClearChannelAssessment {
   double threshold_dbm() const { return threshold_dbm_; }
 
  private:
+  void push_sample(dsp::cplx x);
+
   double fs_;
   std::size_t required_quiet_samples_;
   double threshold_power_;  // linear

@@ -60,7 +60,9 @@ Samples make_tone_reference(double freq, const FskParams& p) {
 NoncoherentFskDemod::NoncoherentFskDemod(const FskParams& params)
     : params_(params),
       tone0_(make_tone_reference(params.f0, params)),
-      tone1_(make_tone_reference(params.f1, params)) {}
+      tone1_(make_tone_reference(params.f1, params)),
+      tone0_soa_(dsp::to_soa(tone0_)),
+      tone1_soa_(dsp::to_soa(tone1_)) {}
 
 std::uint8_t NoncoherentFskDemod::demod_symbol(dsp::SampleView rx,
                                                std::size_t offset,
@@ -76,7 +78,43 @@ std::uint8_t NoncoherentFskDemod::demod_symbol(dsp::SampleView rx,
   return m > 0.0 ? 1 : 0;
 }
 
+std::uint8_t NoncoherentFskDemod::demod_symbol(dsp::SoaView rx,
+                                               std::size_t offset,
+                                               double* metric) const {
+  const double* xr = rx.re + offset;
+  const double* xi = rx.im + offset;
+  const double* t0r = tone0_soa_.re();
+  const double* t0i = tone0_soa_.im();
+  const double* t1r = tone1_soa_.re();
+  const double* t1i = tone1_soa_.im();
+  // x * tone expanded exactly as -fcx-limited-range compiles the complex
+  // multiply in the AoS overload; four independent accumulation chains
+  // over six contiguous planes.
+  double c0r = 0.0, c0i = 0.0, c1r = 0.0, c1i = 0.0;
+  for (std::size_t i = 0; i < params_.sps; ++i) {
+    c0r += xr[i] * t0r[i] - xi[i] * t0i[i];
+    c0i += xr[i] * t0i[i] + xi[i] * t0r[i];
+    c1r += xr[i] * t1r[i] - xi[i] * t1i[i];
+    c1i += xr[i] * t1i[i] + xi[i] * t1r[i];
+  }
+  const double m = std::abs(cplx(c1r, c1i)) - std::abs(cplx(c0r, c0i));
+  if (metric != nullptr) *metric = m;
+  return m > 0.0 ? 1 : 0;
+}
+
 BitVec NoncoherentFskDemod::demodulate(dsp::SampleView rx, std::size_t offset,
+                                       std::size_t count) const {
+  BitVec bits;
+  bits.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::size_t start = offset + s * params_.sps;
+    if (start + params_.sps > rx.size()) break;
+    bits.push_back(demod_symbol(rx, start));
+  }
+  return bits;
+}
+
+BitVec NoncoherentFskDemod::demodulate(dsp::SoaView rx, std::size_t offset,
                                        std::size_t count) const {
   BitVec bits;
   bits.reserve(count);

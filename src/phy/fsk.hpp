@@ -61,9 +61,19 @@ class NoncoherentFskDemod {
   BitVec demodulate(dsp::SampleView rx, std::size_t offset,
                     std::size_t count) const;
 
+  /// Split-complex overload; bit-identical decisions and metrics.
+  BitVec demodulate(dsp::SoaView rx, std::size_t offset,
+                    std::size_t count) const;
+
   /// Demodulates one symbol; also reports the decision metric
   /// (|corr1| - |corr0|, positive => bit 1).
   std::uint8_t demod_symbol(dsp::SampleView rx, std::size_t offset,
+                            double* metric = nullptr) const;
+
+  /// Split-complex overload: the two tone correlations run over the
+  /// buffer's re/im planes against pre-split tone planes (the streaming
+  /// receiver's hot path). Bit-identical to the AoS overload.
+  std::uint8_t demod_symbol(dsp::SoaView rx, std::size_t offset,
                             double* metric = nullptr) const;
 
   const FskParams& params() const { return params_; }
@@ -72,6 +82,8 @@ class NoncoherentFskDemod {
   FskParams params_;
   dsp::Samples tone0_;  // conjugated reference, one symbol long
   dsp::Samples tone1_;
+  dsp::SoaSamples tone0_soa_;  // split copies of the references
+  dsp::SoaSamples tone1_soa_;
 };
 
 /// Coherent 2-FSK demodulator (uses the complex channel estimate `h` to

@@ -34,6 +34,7 @@ FskReceiver::FskReceiver(const FskParams& params, ReceiverOptions options)
     : params_(params), options_(options), demod_(params) {
   FskModulator mod(params_);
   sync_waveform_ = mod.modulate(sync_prefix_bits());
+  sync_soa_.assign(sync_waveform_);
   ref_energy_ = 0.0;
   for (const cplx& r : sync_waveform_) ref_energy_ += std::norm(r);
 }
@@ -59,8 +60,21 @@ void FskReceiver::push(dsp::SampleView samples) {
   if (!locked_ && scan_pos_ > kCompactScanSamples + params_.sps) {
     compact_buffer(scan_pos_ - params_.sps);
   }
-  buffer_.insert(buffer_.end(), samples.begin(), samples.end());
+  buffer_.append(samples);
   total_consumed_ += samples.size();
+  scan_after_append();
+}
+
+void FskReceiver::push(dsp::SoaView samples) {
+  if (!locked_ && scan_pos_ > kCompactScanSamples + params_.sps) {
+    compact_buffer(scan_pos_ - params_.sps);
+  }
+  buffer_.append(samples);
+  total_consumed_ += samples.size();
+  scan_after_append();
+}
+
+void FskReceiver::scan_after_append() {
   // Alternate detection and demodulation until no further progress: a
   // single push may contain the tail of one frame and the start of another.
   for (;;) {
@@ -109,7 +123,10 @@ double FskReceiver::correlation_at(std::size_t lag) const {
   constexpr std::size_t kLanes = 4;
   const std::size_t ref = sync_waveform_.size();
   const std::size_t seg = ref / kSegments;
-  const cplx* sig = buffer_.data() + lag;
+  const double* sig_re = buffer_.re() + lag;
+  const double* sig_im = buffer_.im() + lag;
+  const double* ref_re = sync_soa_.re();
+  const double* ref_im = sync_soa_.im();
   double acc_mag = 0.0;
   double sig_energy = 0.0;
   for (std::size_t s = 0; s < kSegments; ++s) {
@@ -121,10 +138,10 @@ double FskReceiver::correlation_at(std::size_t lag) const {
     std::size_t i = from;
     for (; i + kLanes <= to; i += kLanes) {
       for (std::size_t l = 0; l < kLanes; ++l) {
-        const double br = sig[i + l].real();
-        const double bi = sig[i + l].imag();
-        const double rr = sync_waveform_[i + l].real();
-        const double ri = sync_waveform_[i + l].imag();
+        const double br = sig_re[i + l];
+        const double bi = sig_im[i + l];
+        const double rr = ref_re[i + l];
+        const double ri = ref_im[i + l];
         // b * conj(r)
         acc_re[l] += br * rr + bi * ri;
         acc_im[l] += bi * rr - br * ri;
@@ -132,10 +149,10 @@ double FskReceiver::correlation_at(std::size_t lag) const {
       }
     }
     for (; i < to; ++i) {
-      const double br = sig[i].real();
-      const double bi = sig[i].imag();
-      acc_re[0] += br * sync_waveform_[i].real() + bi * sync_waveform_[i].imag();
-      acc_im[0] += bi * sync_waveform_[i].real() - br * sync_waveform_[i].imag();
+      const double br = sig_re[i];
+      const double bi = sig_im[i];
+      acc_re[0] += br * ref_re[i] + bi * ref_im[i];
+      acc_im[0] += bi * ref_re[i] - br * ref_im[i];
       energy[0] += br * br + bi * bi;
     }
     const double re = (acc_re[0] + acc_re[1]) + (acc_re[2] + acc_re[3]);
@@ -162,9 +179,11 @@ void FskReceiver::try_detect() {
     // so each window is judged exactly once (re-evaluating would
     // double-count it in the noise-floor EWMA).
     if (scan_pos_ + 8 * sps + ref > buffer_.size()) return;
+    const double* bre = buffer_.re() + scan_pos_;
+    const double* bim = buffer_.im() + scan_pos_;
     double win_power = 0.0;
     for (std::size_t i = 0; i < sps; ++i) {
-      win_power += std::norm(buffer_[scan_pos_ + i]);
+      win_power += bre[i] * bre[i] + bim[i] * bim[i];
     }
     win_power /= static_cast<double>(sps);
 
@@ -282,9 +301,8 @@ void FskReceiver::finish_frame(const DecodeResult& decode) {
   out.raw_bits = partial_bits_;
   const std::size_t lock_rel = lock_start_ - buffer_base_;
   const std::size_t frame_samples = partial_bits_.size() * params_.sps;
-  out.rssi = dsp::mean_power(
-      dsp::SampleView(buffer_.data() + lock_rel,
-                      std::min(frame_samples, buffer_.size() - lock_rel)));
+  out.rssi = dsp::mean_power(buffer_.view().subview(
+      lock_rel, std::min(frame_samples, buffer_.size() - lock_rel)));
   output_.push_back(std::move(out));
 
   // Resume scanning after the decoded region.
@@ -308,7 +326,7 @@ void FskReceiver::drop_lock(std::size_t resume_offset) {
 void FskReceiver::compact_buffer(std::size_t keep_from) {
   if (keep_from == 0) return;
   const std::size_t drop = std::min(keep_from, buffer_.size());
-  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(drop));
+  buffer_.erase_front(drop);
   buffer_base_ += drop;
   scan_pos_ = (scan_pos_ >= drop) ? scan_pos_ - drop : 0;
   std::erase_if(corr_cache_, [this](const auto& entry) {

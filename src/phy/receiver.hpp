@@ -56,6 +56,12 @@ class FskReceiver {
   /// internal output queue.
   void push(dsp::SampleView samples);
 
+  /// Split-complex overload: appends the planes directly to the internal
+  /// SoA scan buffer (no interleaving). Behaviour and every decision are
+  /// bit-identical to the AoS overload; Medium::rx_soa() consumers use
+  /// this to keep the whole rx path in SoA layout.
+  void push(dsp::SoaView samples);
+
   /// Pops the next completed frame, if any.
   std::optional<ReceivedFrame> pop();
 
@@ -87,17 +93,19 @@ class FskReceiver {
   void finish_frame(const DecodeResult& decode);
   void drop_lock(std::size_t resume_offset);
   void compact_buffer(std::size_t keep_from);
+  void scan_after_append();
   double correlation_at(std::size_t lag) const;
 
   FskParams params_;
   ReceiverOptions options_;
   NoncoherentFskDemod demod_;
-  dsp::Samples sync_waveform_;  ///< modulated preamble+sync reference
+  dsp::Samples sync_waveform_;       ///< modulated preamble+sync reference
+  dsp::SoaSamples sync_soa_;         ///< split copy of the reference
   double ref_energy_ = 0.0;
   double noise_floor_ = 0.0;  ///< adaptive per-sample power floor
   bool floor_ready_ = false;
 
-  dsp::Samples buffer_;          ///< samples not yet fully consumed
+  dsp::SoaSamples buffer_;       ///< samples not yet fully consumed (SoA)
   std::size_t buffer_base_ = 0;  ///< absolute index of buffer_[0]
   /// Memo of correlation_at results keyed by absolute lag. The
   /// correlation is a pure function of the (append-only) sample stream,

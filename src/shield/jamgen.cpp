@@ -101,13 +101,22 @@ void JammingSignalGenerator::set_profile(JamProfile profile) {
 }
 
 void JammingSignalGenerator::refill() {
+  // Bins are drawn in AoS order (one cgaussian per bin, exactly as
+  // before) so the RNG stream is unchanged; the IFFT output is then
+  // deinterleaved once per fft_size_ samples into the split buffer the
+  // slicing below (and SoA consumers) read plane-wise.
   Samples bins(fft_size_);
   for (std::size_t k = 0; k < fft_size_; ++k) {
     bins[k] = rng_.cgaussian(weights_[k]);
   }
   dsp::ifft_inplace(bins);
-  for (auto& x : bins) x *= scale_;
-  buffer_ = std::move(bins);
+  buffer_.resize(fft_size_);
+  double* re = buffer_.re();
+  double* im = buffer_.im();
+  for (std::size_t k = 0; k < fft_size_; ++k) {
+    re[k] = bins[k].real() * scale_;
+    im[k] = bins[k].imag() * scale_;
+  }
   buffer_pos_ = 0;
 }
 
@@ -118,11 +127,24 @@ Samples JammingSignalGenerator::next(std::size_t n) {
     if (buffer_pos_ >= buffer_.size()) refill();
     const std::size_t take =
         std::min(n - out.size(), buffer_.size() - buffer_pos_);
-    out.insert(out.end(), buffer_.begin() + static_cast<long>(buffer_pos_),
-               buffer_.begin() + static_cast<long>(buffer_pos_ + take));
+    const double* re = buffer_.re() + buffer_pos_;
+    const double* im = buffer_.im() + buffer_pos_;
+    for (std::size_t i = 0; i < take; ++i) out.emplace_back(re[i], im[i]);
     buffer_pos_ += take;
   }
   return out;
+}
+
+void JammingSignalGenerator::next(std::size_t n, dsp::SoaSamples& out) {
+  out.clear();
+  out.reserve(n);
+  while (out.size() < n) {
+    if (buffer_pos_ >= buffer_.size()) refill();
+    const std::size_t take =
+        std::min(n - out.size(), buffer_.size() - buffer_pos_);
+    out.append(buffer_.view().subview(buffer_pos_, take));
+    buffer_pos_ += take;
+  }
 }
 
 }  // namespace hs::shield

@@ -54,6 +54,12 @@ class JammingSignalGenerator {
   /// Produces the next `n` samples of the jamming stream.
   dsp::Samples next(std::size_t n);
 
+  /// Split-complex variant: overwrites `out` with the next `n` samples.
+  /// Draws the same stream as next() (plane copies instead of
+  /// interleaving), feeding Medium::set_tx(SoaView) and the antidote
+  /// without a layout conversion.
+  void next(std::size_t n, dsp::SoaSamples& out);
+
   /// The per-bin weights currently in use (FFT order, DC first).
   const std::vector<double>& bin_weights() const { return weights_; }
 
@@ -71,7 +77,7 @@ class JammingSignalGenerator {
   std::vector<double> shaped_weights_;  // unit-mean FSK profile
   std::vector<double> weights_;         // active profile
   double scale_ = 1.0;                  // per-sample amplitude scale
-  dsp::Samples buffer_;
+  dsp::SoaSamples buffer_;  // split-complex IFFT output, consumed in slices
   std::size_t buffer_pos_ = 0;
 };
 

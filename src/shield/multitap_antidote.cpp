@@ -96,30 +96,24 @@ void MultitapAntidote::design_equalizer() {
   }
   dsp::ifft_inplace(eq_f);
   eq_ = std::move(eq_f);
-  reset_stream();
+  filter_.emplace(eq_);
 }
 
 void MultitapAntidote::reset_stream() {
-  stream_state_.assign(eq_.empty() ? 1 : eq_.size(), cplx{});
-  stream_pos_ = 0;
+  if (filter_) filter_->reset();
 }
 
 Samples MultitapAntidote::antidote_for(dsp::SampleView jamming) {
   if (!ready()) throw std::logic_error("MultitapAntidote: not estimated");
-  Samples out;
+  return filter_->process(jamming);
+}
+
+void MultitapAntidote::antidote_for(dsp::SoaView jamming,
+                                    dsp::SoaSamples& out) {
+  if (!ready()) throw std::logic_error("MultitapAntidote: not estimated");
+  out.clear();
   out.reserve(jamming.size());
-  for (cplx j : jamming) {
-    stream_state_[stream_pos_] = j;
-    cplx acc{};
-    std::size_t idx = stream_pos_;
-    for (std::size_t k = 0; k < eq_.size(); ++k) {
-      acc += eq_[k] * stream_state_[idx];
-      idx = (idx == 0) ? stream_state_.size() - 1 : idx - 1;
-    }
-    stream_pos_ = (stream_pos_ + 1) % stream_state_.size();
-    out.push_back(acc);
-  }
-  return out;
+  filter_->process(jamming, out);
 }
 
 double MultitapAntidote::predicted_cancellation_db() const {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "dsp/fir.hpp"
@@ -47,6 +48,11 @@ class MultitapAntidote {
   /// (streaming; phase-continuous across calls).
   dsp::Samples antidote_for(dsp::SampleView jamming);
 
+  /// Split-complex overload: overwrites `out` with the antidote for
+  /// `jamming`. Shares streaming state with (and is bit-identical to) the
+  /// AoS overload — both run the same ComplexFirFilter.
+  void antidote_for(dsp::SoaView jamming, dsp::SoaSamples& out);
+
   /// Resets filter state (e.g., when re-estimating from scratch).
   void reset_stream();
 
@@ -65,8 +71,9 @@ class MultitapAntidote {
   bool have_jam_ = false;
   bool have_self_ = false;
   dsp::Samples eq_;  ///< antidote FIR taps
-  dsp::Samples stream_state_;
-  std::size_t stream_pos_ = 0;
+  /// Streaming application of eq_ (present once designed); owns the
+  /// phase-continuity state the old hand-rolled circular buffer held.
+  std::optional<dsp::ComplexFirFilter> filter_;
 };
 
 }  // namespace hs::shield

@@ -218,15 +218,22 @@ void ShieldNode::emit_jam(const sim::StepContext& ctx,
   if (std::abs(target - jamgen_.power()) > 0.05 * target) {
     jamgen_.set_power(target);
   }
-  jam_block_ = jamgen_.next(ctx.block_size);
-  medium.set_tx(jam_ant_, jam_block_);
+  jamgen_.next(ctx.block_size, jam_block_);
+  medium.set_tx(jam_ant_, jam_block_.view());
   if (antidote_enabled_ && antidote_.ready()) {
     const cplx coeff = antidote_.antidote_coefficient();
-    Samples antidote_block(jam_block_.size());
+    const double cr = coeff.real();
+    const double ci = coeff.imag();
+    antidote_block_.resize(jam_block_.size());
+    const double* jr = jam_block_.re();
+    const double* ji = jam_block_.im();
+    double* ar = antidote_block_.re();
+    double* ai = antidote_block_.im();
     for (std::size_t i = 0; i < jam_block_.size(); ++i) {
-      antidote_block[i] = coeff * jam_block_[i];
+      ar[i] = cr * jr[i] - ci * ji[i];
+      ai[i] = cr * ji[i] + ci * jr[i];
     }
-    medium.set_tx(rx_ant_, antidote_block);
+    medium.set_tx(rx_ant_, antidote_block_.view());
   }
   jammed_this_block_ = true;
 }
@@ -322,14 +329,15 @@ void ShieldNode::produce(const sim::StepContext& ctx,
 
 void ShieldNode::consume(const sim::StepContext& ctx,
                          channel::Medium& medium) {
-  const auto rx = medium.rx(rx_ant_);
-
   // Probe blocks: estimate the channel, then cancel the (now-known) probe
   // contribution out of the received block and keep monitoring the
   // remainder — the shield must not be deaf while probing, or an
   // adversary packet starting during the probe would slip past S_id.
+  // Probing is rare, so this path stays on the AoS view; the every-block
+  // monitoring path below runs on the medium's split-complex planes.
   if (probe_phase_ == ProbePhase::kJamAntenna ||
       probe_phase_ == ProbePhase::kSelfLoop) {
+    const auto rx = medium.rx(rx_ant_);
     Samples ref(probe_waveform_.size());
     for (std::size_t i = 0; i < ref.size(); ++i) {
       ref[i] = probe_waveform_[i] * probe_amplitude_;
@@ -388,15 +396,24 @@ void ShieldNode::consume(const sim::StepContext& ctx,
     return;
   }
 
-  Samples work(rx.begin(), rx.end());
+  dsp::SoaView work = medium.rx_soa(rx_ant_);
   if (transmitted_this_block_ && antidote_.ready()) {
     // Digital self-cancellation of our own relayed command, imperfect by
     // the analog accuracy (1 + eps).
     const cplx h =
         antidote_.self_channel() * (cplx(1.0, 0.0) + self_cancel_error_);
-    for (std::size_t i = 0; i < work.size(); ++i) {
-      work[i] -= h * own_tx_block_[i];
+    const double hr = h.real();
+    const double hi = h.imag();
+    work_.assign(work);
+    double* wr = work_.re();
+    double* wi = work_.im();
+    for (std::size_t i = 0; i < work_.size(); ++i) {
+      const double tr = own_tx_block_[i].real();
+      const double ti = own_tx_block_[i].imag();
+      wr[i] -= hr * tr - hi * ti;
+      wi[i] -= hr * ti + hi * tr;
     }
+    work = work_.view();
   }
   const double block_power = dsp::mean_power(work);
 

@@ -152,7 +152,9 @@ class ShieldNode : public sim::RadioNode {
   bool manual_jam_ = false;
   bool antidote_enabled_ = true;
   bool jammed_this_block_ = false;
-  dsp::Samples jam_block_;
+  dsp::SoaSamples jam_block_;      ///< split-complex jam stream slice
+  dsp::SoaSamples antidote_block_; ///< scratch: coeff * jam_block_
+  dsp::SoaSamples work_;           ///< scratch: rx minus own-tx cancellation
   std::size_t active_jam_started_block_ = 0;
   std::size_t quiet_blocks_ = 0;
   bool high_power_suspect_ = false;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -53,14 +54,28 @@ TEST(StreamingStats, MatchesSerialReference) {
     mn = std::min(mn, x);
     mx = std::max(mx, x);
   }
-  const double mean = sum / static_cast<double>(xs.size());
-  const double var = sum_sq / static_cast<double>(xs.size()) - mean * mean;
+  const double n = static_cast<double>(xs.size());
+  const double mean = sum / n;
+  // Sample variance (Bessel's correction): sum of squared deviations over
+  // n-1, the estimator variance() reports.
+  const double var = (sum_sq - n * mean * mean) / (n - 1.0);
 
   EXPECT_EQ(st.count(), xs.size());
   EXPECT_NEAR(st.mean(), mean, 1e-12);
   EXPECT_NEAR(st.variance(), var, 1e-9);
   EXPECT_EQ(st.min(), mn);
   EXPECT_EQ(st.max(), mx);
+}
+
+TEST(StreamingStats, BesselCorrection) {
+  StreamingStats st;
+  st.add(1.0);
+  EXPECT_EQ(st.variance(), 0.0);  // undefined for n < 2 -> 0
+  st.add(3.0);
+  // Deviations +-1 around mean 2: m2 = 2, sample variance 2/(2-1) = 2
+  // (the population estimator would report 1).
+  EXPECT_DOUBLE_EQ(st.variance(), 2.0);
+  EXPECT_DOUBLE_EQ(st.stddev(), std::sqrt(2.0));
 }
 
 TEST(StreamingStats, MergeEqualsSequentialFeed) {
@@ -288,6 +303,46 @@ TEST(Campaign, EveryPresetExpandsAndSeeds) {
   }
   EXPECT_EQ(find_scenario("definitely-not-a-preset"), nullptr);
   EXPECT_NE(find_scenario("fig9-eaves-ber"), nullptr);
+}
+
+TEST(Report, CsvQuotesFieldsWithCommasAndQuotes) {
+  Scenario s = fast_scenario();
+  s.description = "profiles, with \"quotes\" and, commas";
+  CampaignOptions opt;
+  opt.seed = 2;
+  opt.threads = 1;
+  opt.trials_per_point = 2;
+  const auto result = run_campaign(s, opt);
+
+  const auto csv = to_csv(result);
+  // Header gained the description column.
+  EXPECT_NE(csv.find("wilson_lo,wilson_hi,description\n"), std::string::npos);
+  // RFC 4180: the whole field quoted, embedded quotes doubled.
+  EXPECT_NE(csv.find("\"profiles, with \"\"quotes\"\" and, commas\""),
+            std::string::npos);
+  // Every data row must have the same number of columns as the header
+  // once quoted regions are skipped.
+  const std::size_t header_cols = 12;
+  std::size_t line_start = 0;
+  while (line_start < csv.size()) {
+    std::size_t line_end = csv.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = csv.size();
+    std::size_t cols = 1;
+    bool quoted = false;
+    for (std::size_t i = line_start; i < line_end; ++i) {
+      if (csv[i] == '"') quoted = !quoted;
+      if (csv[i] == ',' && !quoted) ++cols;
+    }
+    if (line_end > line_start) {
+      EXPECT_EQ(cols, header_cols);
+    }
+    line_start = line_end + 1;
+  }
+
+  // JSON escapes the quotes in the description.
+  const auto json = to_json(result);
+  EXPECT_NE(json.find("profiles, with \\\"quotes\\\" and, commas"),
+            std::string::npos);
 }
 
 TEST(Report, CsvAndJsonWellFormed) {

@@ -1,12 +1,69 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "dsp/fft.hpp"
 #include "dsp/rng.hpp"
 
 namespace hs::dsp {
 namespace {
+
+// The pre-rebuild twiddle recurrence (`w *= wlen` per butterfly), kept
+// here as the precision baseline: its phase error accumulates O(n*eps)
+// across a stage, which the table-driven transform must beat by orders of
+// magnitude.
+void recurrence_fft(Samples& data) {
+  const std::size_t n = data.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = -kTwoPi / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = data[i + k];
+        const cplx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// O(n) reference DFT of a single bin, with twiddles indexed exactly
+// ((k*i) mod n through an incremental index) so the reference's own
+// twiddle error stays at 1 ulp.
+cplx reference_dft_bin(const Samples& x, std::size_t k,
+                       const Samples& twiddles) {
+  const std::size_t n = x.size();
+  double ar = 0.0, ai = 0.0;
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ar += x[i].real() * twiddles[idx].real() -
+          x[i].imag() * twiddles[idx].imag();
+    ai += x[i].real() * twiddles[idx].imag() +
+          x[i].imag() * twiddles[idx].real();
+    idx += k;
+    if (idx >= n) idx -= n;
+  }
+  return {ar, ai};
+}
+
+Samples unit_twiddles(std::size_t n) {
+  Samples w(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    w[j] = std::polar(1.0, -kTwoPi * static_cast<double>(j) /
+                               static_cast<double>(n));
+  }
+  return w;
+}
 
 TEST(Fft, NextPow2) {
   EXPECT_EQ(next_pow2(1), 1u);
@@ -119,6 +176,89 @@ TEST(Fft, FrequencyBinRoundTrip) {
   const double fs = 300e3;
   for (std::size_t k = 0; k < n; ++k) {
     EXPECT_EQ(frequency_bin(bin_frequency(k, n, fs), n, fs), k);
+  }
+}
+
+TEST(Fft, MatchesReferenceDftSmall) {
+  // Full O(n^2) reference comparison at n = 2^10.
+  const std::size_t n = 1 << 10;
+  Rng rng(n);
+  Samples x(n);
+  rng.fill_awgn(x, 1.0);
+  Samples fast = x;
+  fft_inplace(fast);
+  const Samples w = unit_twiddles(n);
+  double max_err = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    max_err = std::max(max_err, std::abs(fast[k] - reference_dft_bin(x, k, w)));
+  }
+  EXPECT_LE(max_err, 1e-9 * static_cast<double>(n));
+  EXPECT_LE(max_err, 2e-12);  // observed ~2.3e-13 with table twiddles
+}
+
+TEST(Fft, MatchesReferenceDftLargeWhereRecurrenceFails) {
+  // n = 2^16, the transform size where the old `w *= wlen` recurrence
+  // visibly drifts. A full O(n^2) reference takes ~10 s, so the error is
+  // maximized over 1024 stratified bins (measured: the sampled max is
+  // within an order of magnitude of the full-spectrum max for both
+  // transforms — table ~9e-12 vs ~2e-11, recurrence ~5e-10 vs ~7e-10).
+  const std::size_t n = 1 << 16;
+  Rng rng(n);
+  Samples x(n);
+  rng.fill_awgn(x, 1.0);
+  Samples fast = x;
+  fft_inplace(fast);
+  Samples drifty = x;
+  recurrence_fft(drifty);
+  const Samples w = unit_twiddles(n);
+  double table_err = 0.0;
+  double recurrence_err = 0.0;
+  for (std::size_t s = 0; s < 1024; ++s) {
+    const std::size_t k = (s * 64 + (s * 37) % 64) % n;
+    const cplx ref = reference_dft_bin(x, k, w);
+    table_err = std::max(table_err, std::abs(fast[k] - ref));
+    recurrence_err = std::max(recurrence_err, std::abs(drifty[k] - ref));
+  }
+  // The acceptance bound, then the discriminating bound: the cached-table
+  // transform clears 1e-10 with ~10x margin, the recurrence misses it by
+  // ~5x (measured 9.2e-12 vs 5.2e-10 on this fixed seed).
+  EXPECT_LE(table_err, 1e-9 * static_cast<double>(n));
+  EXPECT_LE(table_err, 1e-10);
+#ifndef __FMA__
+  // The recurrence baseline's drift depends on how `w *= wlen` rounds;
+  // FMA contraction (an opt-in -march build) changes it, so only the
+  // table bound above is the portable contract — these two assertions
+  // pin the improvement claim for the default (contraction-free) build.
+  EXPECT_GT(recurrence_err, 1e-10);
+  EXPECT_LT(table_err * 10.0, recurrence_err);
+#endif
+}
+
+TEST(Fft, IfftRejectsNonPowerOfTwoBins) {
+  // The old wrappers silently zero-padded a 100-bin "spectrum" to 128
+  // bins, rescaling the reconstruction; now that is a contract violation.
+  Samples bins(100);
+  EXPECT_THROW(ifft(bins), std::invalid_argument);
+  Samples ok(128);
+  EXPECT_NO_THROW(ifft(ok));
+}
+
+TEST(Fft, ZeroPadRoundTripIsExplicit) {
+  // fft() pads time-domain input to next_pow2; ifft(fft(x)) therefore
+  // returns x followed by the padding zeros — documented, and exact.
+  const std::size_t n = 100;
+  Rng rng(4);
+  Samples x(n);
+  rng.fill_awgn(x, 1.0);
+  const auto spectrum = fft(x);
+  EXPECT_EQ(spectrum.size(), 128u);
+  const auto round = ifft(spectrum);
+  ASSERT_EQ(round.size(), 128u);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(round[i] - x[i]), 0.0, 1e-12);
+  }
+  for (std::size_t i = n; i < round.size(); ++i) {
+    EXPECT_NEAR(std::abs(round[i]), 0.0, 1e-12);
   }
 }
 
