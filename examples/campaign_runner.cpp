@@ -1,15 +1,23 @@
-// Campaign CLI: runs any named scenario preset across a worker pool and
-// emits CSV/JSON aggregates, plus the BENCH_campaign.json perf snapshot
-// comparing no-reuse vs deployment-reuse and 1-thread vs N-thread
-// throughput. Aggregates are bit-identical across all four combinations
-// by construction; the tool verifies both axes on every --bench-json run.
+// Campaign CLI: runs any named scenario preset across the work-stealing
+// worker pool and emits CSV/JSON aggregates; runs one shard of a
+// multi-process campaign (--shards/--shard/--emit-chunks) writing a
+// mergeable chunk stream; merges shard streams back into reports
+// byte-identical to a serial run (--merge); and writes the
+// BENCH_campaign.json perf snapshot (--bench-json) comparing no-reuse vs
+// deployment-reuse and 1-thread vs N-thread throughput. Aggregates are
+// bit-identical across every combination by construction; the tool
+// verifies both determinism axes on every --bench-json run and refuses
+// to record a "parallel" leg that silently ran on one thread.
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "campaign/chunk_stream.hpp"
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/scenario.hpp"
@@ -47,53 +55,207 @@ bool aggregates_identical(const campaign::CampaignResult& a,
   return true;
 }
 
+int usage(const char* argv0, bool is_error) {
+  std::printf(
+      "usage: %s [--list] [--scenario=NAME] [--seed=N] [--trials=N]\n"
+      "          [--threads=N] [--chunk=N] [--no-reuse] [--canonical]\n"
+      "          [--csv=PATH] [--json=PATH] [--bench-json=PATH]\n"
+      "       %s --shards=K --shard=I --emit-chunks=PATH [run options]\n"
+      "       %s --merge A.jsonl B.jsonl ... [--csv=PATH] [--json=PATH]\n"
+      "  Every value flag also accepts the space-separated form\n"
+      "  (--shards 3). --threads=0 uses all hardware threads (default).\n"
+      "  --no-reuse rebuilds the deployment for every trial instead of\n"
+      "  reset-and-reseeding the worker's pooled one (identical\n"
+      "  aggregates, slower; the escape hatch for A/B timing).\n"
+      "  --canonical zeroes the runtime fields (wall time, threads) in\n"
+      "  reports so they diff cleanly against a --merge report.\n"
+      "  --shards/--shard/--emit-chunks run one deterministic shard of\n"
+      "  the campaign and write its chunk stream (JSONL); shards never\n"
+      "  communicate, and --merge folds their streams into aggregates\n"
+      "  byte-identical to the serial run (tools/run_sharded.py drives\n"
+      "  the whole flow).\n"
+      "  --bench-json re-runs at 1 thread with and without reuse, checks\n"
+      "  all aggregates are bit-identical, and writes a trials/sec perf\n"
+      "  snapshot; it refuses a parallel leg of fewer than 2 threads.\n",
+      argv0, argv0, argv0);
+  return is_error ? 1 : 0;
+}
+
+/// Matches "--name=value" or "--name value"; advances *i past a consumed
+/// extra argument. Returns nullptr when `arg` is not this flag. The
+/// space-separated form refuses a value starting with '-' so a forgotten
+/// value ("--seed --trials=5") fails as an unknown flag instead of
+/// silently swallowing the next option.
+const char* flag_value(const char* arg, const char* name, int argc,
+                       char** argv, int* i) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return nullptr;
+  if (arg[len] == '=') return arg + len + 1;
+  if (arg[len] == '\0' && *i + 1 < argc && argv[*i + 1][0] != '-') {
+    return argv[++*i];
+  }
+  return nullptr;
+}
+
+/// strtoull with a full-consumption check: garbage or overflow is a hard
+/// error, never a silent zero.
+std::uint64_t parse_u64(const char* value, const char* flag) {
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t v = std::strtoull(value, &end, 10);
+  if (value[0] == '\0' || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "invalid numeric value '%s' for %s\n", value, flag);
+    std::exit(1);
+  }
+  return v;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string scenario_name = "fig9-eaves-ber";
   campaign::CampaignOptions options;
   options.threads = 0;  // hardware concurrency
-  std::string csv_path, json_path, bench_json_path;
+  std::string csv_path, json_path, bench_json_path, emit_chunks_path;
+  std::size_t shard_count = 0, shard_index = 0;
+  bool have_shard_index = false, merge_mode = false, canonical = false;
+  std::vector<std::string> merge_files;
+  // First run-shaping flag seen, for the merge-mode conflict diagnostic
+  // (merging replays recorded streams; a --seed there would be ignored).
+  const char* run_flag = nullptr;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    const char* value = nullptr;
     if (std::strcmp(arg, "--list") == 0) {
       list_presets(stdout);
       return 0;
-    } else if (std::strncmp(arg, "--scenario=", 11) == 0) {
-      scenario_name = arg + 11;
-    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      options.seed = std::strtoull(arg + 7, nullptr, 10);
-    } else if (std::strncmp(arg, "--trials=", 9) == 0) {
-      options.trials_per_point = std::strtoull(arg + 9, nullptr, 10);
-    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      options.threads = static_cast<unsigned>(
-          std::strtoul(arg + 10, nullptr, 10));
-    } else if (std::strncmp(arg, "--chunk=", 8) == 0) {
-      options.chunk_size = std::strtoull(arg + 8, nullptr, 10);
+    } else if (std::strcmp(arg, "--merge") == 0) {
+      merge_mode = true;
     } else if (std::strcmp(arg, "--no-reuse") == 0) {
       options.reuse_deployments = false;
-    } else if (std::strncmp(arg, "--csv=", 6) == 0) {
-      csv_path = arg + 6;
-    } else if (std::strncmp(arg, "--json=", 7) == 0) {
-      json_path = arg + 7;
-    } else if (std::strncmp(arg, "--bench-json=", 13) == 0) {
-      bench_json_path = arg + 13;
+      run_flag = "--no-reuse";
+    } else if (std::strcmp(arg, "--canonical") == 0) {
+      canonical = true;
+    } else if ((value = flag_value(arg, "--scenario", argc, argv, &i))) {
+      scenario_name = value;
+      run_flag = "--scenario";
+    } else if ((value = flag_value(arg, "--seed", argc, argv, &i))) {
+      options.seed = parse_u64(value, "--seed");
+      run_flag = "--seed";
+    } else if ((value = flag_value(arg, "--trials", argc, argv, &i))) {
+      options.trials_per_point = parse_u64(value, "--trials");
+      run_flag = "--trials";
+    } else if ((value = flag_value(arg, "--threads", argc, argv, &i))) {
+      options.threads = static_cast<unsigned>(parse_u64(value, "--threads"));
+      run_flag = "--threads";
+    } else if ((value = flag_value(arg, "--chunk", argc, argv, &i))) {
+      options.chunk_size = parse_u64(value, "--chunk");
+      run_flag = "--chunk";
+    } else if ((value = flag_value(arg, "--shards", argc, argv, &i))) {
+      shard_count = parse_u64(value, "--shards");
+    } else if ((value = flag_value(arg, "--shard", argc, argv, &i))) {
+      shard_index = parse_u64(value, "--shard");
+      have_shard_index = true;
+    } else if ((value = flag_value(arg, "--emit-chunks", argc, argv, &i))) {
+      emit_chunks_path = value;
+    } else if ((value = flag_value(arg, "--csv", argc, argv, &i))) {
+      csv_path = value;
+    } else if ((value = flag_value(arg, "--json", argc, argv, &i))) {
+      json_path = value;
+    } else if ((value = flag_value(arg, "--bench-json", argc, argv, &i))) {
+      bench_json_path = value;
+    } else if (arg[0] != '-' && merge_mode) {
+      merge_files.push_back(arg);
     } else {
-      std::printf(
-          "usage: %s [--list] [--scenario=NAME] [--seed=N] [--trials=N]\n"
-          "          [--threads=N] [--chunk=N] [--no-reuse] [--csv=PATH]\n"
-          "          [--json=PATH] [--bench-json=PATH]\n"
-          "  --threads=0 uses all hardware threads (default)\n"
-          "  --no-reuse rebuilds the deployment for every trial instead\n"
-          "  of reset-and-reseeding the worker's pooled one (identical\n"
-          "  aggregates, slower; the escape hatch for A/B timing)\n"
-          "  --bench-json re-runs at 1 thread with and without reuse,\n"
-          "  checks all aggregates are bit-identical, and writes a\n"
-          "  trials/sec perf snapshot\n",
-          argv[0]);
-      return std::strcmp(arg, "--help") == 0 ? 0 : 1;
+      return usage(argv[0], std::strcmp(arg, "--help") != 0);
     }
+  }
+
+  // ---- merge mode: fold shard chunk streams into canonical reports ----
+  if (merge_mode) {
+    if (merge_files.empty()) {
+      std::fprintf(stderr, "--merge needs at least one chunk-stream file\n");
+      return 1;
+    }
+    if (!bench_json_path.empty() || !emit_chunks_path.empty() ||
+        shard_count > 0 || have_shard_index) {
+      std::fprintf(stderr,
+                   "--merge folds existing chunk streams; it cannot be "
+                   "combined with --bench-json, --emit-chunks, --shards "
+                   "or --shard\n");
+      return 1;
+    }
+    if (run_flag != nullptr) {
+      std::fprintf(stderr,
+                   "--merge replays the streams' recorded campaign — %s "
+                   "would be silently ignored; drop it (the header pins "
+                   "scenario/seed/trials/chunk size)\n",
+                   run_flag);
+      return 1;
+    }
+    try {
+      std::vector<campaign::ChunkStream> streams;
+      streams.reserve(merge_files.size());
+      for (const auto& path : merge_files) {
+        streams.push_back(campaign::load_chunk_stream(path));
+      }
+      const campaign::Scenario* scenario =
+          campaign::find_scenario(streams.front().header.scenario);
+      if (!scenario) {
+        std::fprintf(stderr, "unknown scenario '%s' in %s\n",
+                     streams.front().header.scenario.c_str(),
+                     merge_files.front().c_str());
+        return 1;
+      }
+      const auto result = campaign::merge_chunk_streams(*scenario, streams);
+      campaign::print_summary(stdout, result);
+      std::printf("\n  merged %zu shard stream(s), %zu chunks verified\n",
+                  streams.size(), streams.front().header.total_chunks);
+      if (!csv_path.empty() &&
+          !campaign::write_file(csv_path, campaign::to_csv(result))) {
+        return 1;
+      }
+      if (!json_path.empty() &&
+          !campaign::write_file(json_path, campaign::to_json(result))) {
+        return 1;
+      }
+    } catch (const campaign::ChunkStreamError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  // ---- shard-flag validation ----
+  if (have_shard_index && shard_count == 0) {
+    std::fprintf(stderr, "--shard requires --shards=K\n");
+    return 1;
+  }
+  if (shard_count > 0 &&
+      (!have_shard_index || emit_chunks_path.empty())) {
+    std::fprintf(stderr,
+                 "--shards needs both --shard=I and --emit-chunks=PATH "
+                 "(a shard run only makes sense if its chunk stream is "
+                 "kept for the merge)\n");
+    return 1;
+  }
+  if (shard_count > 0 && shard_index >= shard_count) {
+    std::fprintf(stderr, "--shard=%zu out of range for --shards=%zu\n",
+                 shard_index, shard_count);
+    return 1;
+  }
+  if (!emit_chunks_path.empty() && shard_count == 0) {
+    std::fprintf(stderr, "--emit-chunks requires --shards and --shard\n");
+    return 1;
+  }
+  if (!emit_chunks_path.empty() &&
+      (!csv_path.empty() || !json_path.empty() || !bench_json_path.empty())) {
+    std::fprintf(stderr,
+                 "--emit-chunks writes one shard's chunk stream; partial "
+                 "aggregates would be misleading — use --merge on all "
+                 "shard streams to produce CSV/JSON reports\n");
+    return 1;
   }
 
   if (!bench_json_path.empty() && !options.reuse_deployments) {
@@ -113,23 +275,76 @@ int main(int argc, char** argv) {
     list_presets(stderr);
     return 1;
   }
+  const unsigned hardware_threads =
+      std::max(1u, std::thread::hardware_concurrency());
   if (options.threads == 0) {
-    options.threads = std::max(1u, std::thread::hardware_concurrency());
+    options.threads = hardware_threads;
+  }
+  if (!bench_json_path.empty() && options.threads < 2) {
+    // The self-check that BENCH_campaign.json can never again record a
+    // "parallel" leg that silently ran on one thread: on a
+    // 1-hardware-thread machine --threads=0 resolves to 1, which would
+    // make thread_speedup a lie of measurement noise.
+    std::fprintf(stderr,
+                 "FATAL: --bench-json parallel leg resolved to %u thread(s) "
+                 "(hardware_concurrency=%u); pass --threads=N with N>=2 — "
+                 "on a 1-core machine that measures oversubscription "
+                 "honestly instead of relabeling a serial run\n",
+                 options.threads, hardware_threads);
+    return 1;
+  }
+
+  // ---- shard mode: run this shard's chunks, write the stream ----
+  if (shard_count > 0) {
+    const auto exec = campaign::run_campaign_shard(*scenario, options,
+                                                   shard_count, shard_index);
+    if (!campaign::write_file(
+            emit_chunks_path,
+            campaign::serialize_chunk_stream(*scenario, options, exec))) {
+      return 1;
+    }
+    std::size_t shard_trials = 0;
+    for (const auto& c : exec.plan.chunks) {
+      shard_trials += c.trial_end - c.trial_begin;
+    }
+    std::printf("shard %zu/%zu of %s: %zu/%zu chunks (%zu trials), "
+                "%u thread(s), %.2fs (%.1f trials/s), %zu chunk(s) stolen "
+                "-> %s\n",
+                shard_index, shard_count, scenario->name.c_str(),
+                exec.plan.chunks.size(), exec.plan.total_chunks,
+                shard_trials, exec.threads, exec.wall_seconds,
+                exec.wall_seconds > 0.0
+                    ? static_cast<double>(shard_trials) / exec.wall_seconds
+                    : 0.0,
+                exec.chunks_stolen, emit_chunks_path.c_str());
+    return 0;
   }
 
   const auto result = campaign::run_campaign(*scenario, options);
   campaign::print_summary(stdout, result);
 
-  if (!csv_path.empty() &&
-      !campaign::write_file(csv_path, campaign::to_csv(result))) {
-    return 1;
-  }
-  if (!json_path.empty() &&
-      !campaign::write_file(json_path, campaign::to_json(result))) {
-    return 1;
+  {
+    auto report = result;
+    if (canonical) campaign::canonicalize(report);
+    if (!csv_path.empty() &&
+        !campaign::write_file(csv_path, campaign::to_csv(report))) {
+      return 1;
+    }
+    if (!json_path.empty() &&
+        !campaign::write_file(json_path, campaign::to_json(report))) {
+      return 1;
+    }
   }
 
   if (!bench_json_path.empty()) {
+    if (result.options.threads < 2) {
+      std::fprintf(stderr,
+                   "FATAL: the parallel leg ran on %u thread(s) after "
+                   "clamping to the chunk count — the workload is too "
+                   "small for a meaningful thread_speedup row\n",
+                   result.options.threads);
+      return 1;
+    }
     campaign::CampaignOptions serial_options = options;
     serial_options.threads = 1;
     serial_options.reuse_deployments = true;
@@ -139,13 +354,13 @@ int main(int argc, char** argv) {
     no_reuse_options.reuse_deployments = false;
     const auto no_reuse = campaign::run_campaign(*scenario, no_reuse_options);
 
-    // Determinism self-checks: the worker pool must not change aggregates
-    // (1 vs N threads), and neither may deployment reuse (reset-and-
-    // reseeded deployments vs freshly constructed ones).
+    // Determinism self-checks: the work-stealing pool must not change
+    // aggregates (1 vs N threads), and neither may deployment reuse
+    // (reset-and-reseeded deployments vs freshly constructed ones).
     if (!aggregates_identical(serial, result)) {
       std::fprintf(stderr,
                    "FATAL: 1-thread and %u-thread aggregates differ\n",
-                   options.threads);
+                   result.options.threads);
       return 1;
     }
     if (!aggregates_identical(no_reuse, serial)) {
@@ -155,7 +370,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("\n  determinism: %u-thread aggregates bit-identical to "
-                "1-thread\n", options.threads);
+                "1-thread (%zu chunks stolen)\n",
+                result.options.threads, result.chunks_stolen);
     std::printf("  determinism: deployment reuse bit-identical to fresh "
                 "construction\n");
     std::printf("  no-reuse %.1f trials/s, reuse %.1f trials/s "
@@ -165,7 +381,8 @@ int main(int argc, char** argv) {
                 result.trials_per_second());
     if (!campaign::write_file(
             bench_json_path,
-            campaign::perf_snapshot_json(no_reuse, serial, result))) {
+            campaign::perf_snapshot_json(no_reuse, serial, result,
+                                         hardware_threads))) {
       return 1;
     }
   }

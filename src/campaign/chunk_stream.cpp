@@ -1,0 +1,467 @@
+#include "campaign/chunk_stream.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "campaign/report.hpp"
+
+namespace hs::campaign {
+
+namespace {
+
+/// Hex-float text ("%a"): the exact bits of the double, so parse(print(x))
+/// reproduces x with no decimal rounding anywhere.
+void append_hex_double(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "\"%a\"", v);
+  out += buf;
+}
+
+/// Strict scanner over one serialized line. Any deviation from the v1
+/// writer's byte layout fails with the source/line context — a truncated
+/// or hand-edited line cannot parse into a half-read record.
+class Scanner {
+ public:
+  Scanner(std::string_view line, std::string_view source, std::size_t lineno)
+      : s_(line), source_(source), lineno_(lineno) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ChunkStreamError("chunk-stream: " + std::string(source_) +
+                           " line " + std::to_string(lineno_) + ": " + what);
+  }
+
+  void expect(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) {
+      fail("expected '" + std::string(lit) + "'" +
+           (pos_ + lit.size() > s_.size() ? " (truncated line?)" : ""));
+    }
+    pos_ += lit.size();
+  }
+
+  bool consume(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  void expect_key(std::string_view name) {
+    expect("\"");
+    expect(name);
+    expect("\":");
+  }
+
+  std::string string_value() {
+    expect("\"");
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape in string");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          default: fail("unsupported string escape");
+        }
+      }
+      out += c;
+    }
+    expect("\"");
+    return out;
+  }
+
+  std::uint64_t u64_value() {
+    const std::size_t begin = pos_;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    if (pos_ == begin) fail("expected unsigned integer");
+    const std::string digits(s_.substr(begin, pos_ - begin));
+    errno = 0;
+    const std::uint64_t v = std::strtoull(digits.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      fail("integer '" + digits + "' does not fit in 64 bits");
+    }
+    return v;
+  }
+
+  double hex_double_value() {
+    const std::string text = string_value();
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || text.empty()) {
+      fail("malformed hex-float '" + text + "'");
+    }
+    return v;
+  }
+
+  void expect_end() {
+    if (pos_ != s_.size()) fail("trailing bytes after record");
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string_view source_;
+  std::size_t lineno_;
+};
+
+ChunkStreamHeader parse_header(std::string_view line,
+                               std::string_view source) {
+  Scanner sc(line, source, 1);
+  ChunkStreamHeader h;
+  sc.expect("{");
+  sc.expect_key("format");
+  if (sc.string_value() != "hs-chunk-stream") {
+    sc.fail("not an hs-chunk-stream file");
+  }
+  sc.expect(",");
+  sc.expect_key("version");
+  const std::uint64_t version = sc.u64_value();
+  if (version != static_cast<std::uint64_t>(kChunkStreamVersion)) {
+    sc.fail("unsupported chunk-stream version " + std::to_string(version) +
+            " (this build reads version " +
+            std::to_string(kChunkStreamVersion) + ")");
+  }
+  h.version = static_cast<int>(version);
+  sc.expect(",");
+  sc.expect_key("scenario");
+  h.scenario = sc.string_value();
+  sc.expect(",");
+  sc.expect_key("seed");
+  h.seed = sc.u64_value();
+  sc.expect(",");
+  sc.expect_key("trials_per_point");
+  h.trials_per_point = sc.u64_value();
+  sc.expect(",");
+  sc.expect_key("chunk_size");
+  h.chunk_size = sc.u64_value();
+  sc.expect(",");
+  sc.expect_key("shard_count");
+  h.shard_count = sc.u64_value();
+  sc.expect(",");
+  sc.expect_key("shard_index");
+  h.shard_index = sc.u64_value();
+  sc.expect(",");
+  sc.expect_key("point_count");
+  h.point_count = sc.u64_value();
+  sc.expect(",");
+  sc.expect_key("total_chunks");
+  h.total_chunks = sc.u64_value();
+  sc.expect(",");
+  sc.expect_key("chunk_count");
+  h.chunk_count = sc.u64_value();
+  sc.expect("}");
+  sc.expect_end();
+
+  if (h.shard_count == 0) sc.fail("shard_count must be >= 1");
+  if (h.shard_index >= h.shard_count) {
+    sc.fail("shard_index " + std::to_string(h.shard_index) +
+            " out of range for shard_count " + std::to_string(h.shard_count));
+  }
+  if (h.chunk_size == 0) sc.fail("chunk_size must be >= 1");
+  if (h.trials_per_point == 0) sc.fail("trials_per_point must be >= 1");
+  return h;
+}
+
+ChunkRecord parse_chunk_record(std::string_view line,
+                               std::string_view source, std::size_t lineno,
+                               const ChunkStreamHeader& h) {
+  Scanner sc(line, source, lineno);
+  ChunkRecord rec;
+  sc.expect("{");
+  sc.expect_key("chunk");
+  rec.ref.chunk_index = sc.u64_value();
+  sc.expect(",");
+  sc.expect_key("point");
+  rec.ref.point_index = sc.u64_value();
+  sc.expect(",");
+  sc.expect_key("trial_begin");
+  rec.ref.trial_begin = sc.u64_value();
+  sc.expect(",");
+  sc.expect_key("trial_end");
+  rec.ref.trial_end = sc.u64_value();
+  sc.expect(",");
+  sc.expect_key("metrics");
+  sc.expect("{");
+  std::set<std::size_t> seen;
+  if (!sc.consume("}")) {
+    for (;;) {
+      const std::string name = sc.string_value();
+      Metric metric;
+      if (!metric_from_name(name, &metric)) {
+        sc.fail("unknown metric '" + name + "'");
+      }
+      if (!seen.insert(static_cast<std::size_t>(metric)).second) {
+        sc.fail("duplicate metric '" + name + "'");
+      }
+      sc.expect(":{");
+      StreamingStats::Moments m;
+      sc.expect_key("count");
+      m.count = sc.u64_value();
+      sc.expect(",");
+      sc.expect_key("mean");
+      m.mean = sc.hex_double_value();
+      sc.expect(",");
+      sc.expect_key("m2");
+      m.m2 = sc.hex_double_value();
+      sc.expect(",");
+      sc.expect_key("min");
+      m.min = sc.hex_double_value();
+      sc.expect(",");
+      sc.expect_key("max");
+      m.max = sc.hex_double_value();
+      sc.expect("}");
+      if (m.count == 0) sc.fail("metric '" + name + "' with zero count");
+      rec.metrics[static_cast<std::size_t>(metric)] =
+          StreamingStats::from_moments(m);
+      if (sc.consume(",")) continue;
+      sc.expect("}");
+      break;
+    }
+  }
+  sc.expect("}");
+  sc.expect_end();
+
+  if (rec.ref.chunk_index >= h.total_chunks) {
+    sc.fail("chunk id " + std::to_string(rec.ref.chunk_index) +
+            " out of range (total_chunks " + std::to_string(h.total_chunks) +
+            ")");
+  }
+  if (rec.ref.chunk_index % h.shard_count != h.shard_index) {
+    sc.fail("chunk id " + std::to_string(rec.ref.chunk_index) +
+            " does not belong to shard " + std::to_string(h.shard_index) +
+            "/" + std::to_string(h.shard_count));
+  }
+  if (rec.ref.point_index >= h.point_count ||
+      rec.ref.trial_begin >= rec.ref.trial_end ||
+      rec.ref.trial_end > h.trials_per_point) {
+    sc.fail("chunk " + std::to_string(rec.ref.chunk_index) +
+            " has an out-of-range point or trial window");
+  }
+  return rec;
+}
+
+}  // namespace
+
+std::string serialize_chunk_stream(const Scenario& scenario,
+                                   const CampaignOptions& options,
+                                   const ShardExecution& exec) {
+  const ShardPlan& plan = exec.plan;
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\"format\":\"hs-chunk-stream\",\"version\":%d,"
+                "\"scenario\":\"%s\",\"seed\":%" PRIu64
+                ",\"trials_per_point\":%zu,\"chunk_size\":%zu,"
+                "\"shard_count\":%zu,\"shard_index\":%zu,"
+                "\"point_count\":%zu,\"total_chunks\":%zu,"
+                "\"chunk_count\":%zu}\n",
+                kChunkStreamVersion, json_escape(scenario.name).c_str(),
+                options.seed, plan.trials_per_point, plan.chunk_size,
+                plan.shard_count, plan.shard_index, plan.point_count,
+                plan.total_chunks, plan.chunks.size());
+  out += buf;
+
+  for (std::size_t c = 0; c < plan.chunks.size(); ++c) {
+    const ChunkRef& ref = plan.chunks[c];
+    std::snprintf(buf, sizeof buf,
+                  "{\"chunk\":%zu,\"point\":%zu,\"trial_begin\":%zu,"
+                  "\"trial_end\":%zu,\"metrics\":{",
+                  ref.chunk_index, ref.point_index, ref.trial_begin,
+                  ref.trial_end);
+    out += buf;
+    bool first = true;
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      const auto moments = exec.chunk_metrics[c][m].moments();
+      if (moments.count == 0) continue;
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += metric_name(static_cast<Metric>(m));
+      out += "\":{\"count\":";
+      out += std::to_string(moments.count);
+      out += ",\"mean\":";
+      append_hex_double(out, moments.mean);
+      out += ",\"m2\":";
+      append_hex_double(out, moments.m2);
+      out += ",\"min\":";
+      append_hex_double(out, moments.min);
+      out += ",\"max\":";
+      append_hex_double(out, moments.max);
+      out += '}';
+    }
+    out += "}}\n";
+  }
+  return out;
+}
+
+ChunkStream parse_chunk_stream(std::string_view text,
+                               std::string_view source) {
+  if (text.empty()) {
+    throw ChunkStreamError("chunk-stream: " + std::string(source) +
+                           ": empty stream");
+  }
+  if (text.back() != '\n') {
+    throw ChunkStreamError("chunk-stream: " + std::string(source) +
+                           ": truncated stream (missing final newline)");
+  }
+
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+
+  ChunkStream stream;
+  stream.header = parse_header(lines[0], source);
+  if (lines.size() - 1 != stream.header.chunk_count) {
+    throw ChunkStreamError(
+        "chunk-stream: " + std::string(source) + ": header promises " +
+        std::to_string(stream.header.chunk_count) + " chunk records, found " +
+        std::to_string(lines.size() - 1) + " (truncated or padded stream)");
+  }
+  stream.chunks.reserve(stream.header.chunk_count);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    ChunkRecord rec =
+        parse_chunk_record(lines[i], source, i + 1, stream.header);
+    if (!stream.chunks.empty() &&
+        rec.ref.chunk_index <= stream.chunks.back().ref.chunk_index) {
+      throw ChunkStreamError(
+          "chunk-stream: " + std::string(source) + " line " +
+          std::to_string(i + 1) + ": duplicate or out-of-order chunk id " +
+          std::to_string(rec.ref.chunk_index));
+    }
+    stream.chunks.push_back(std::move(rec));
+  }
+  return stream;
+}
+
+ChunkStream load_chunk_stream(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    throw ChunkStreamError("chunk-stream: cannot open " + path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    throw ChunkStreamError("chunk-stream: error reading " + path);
+  }
+  return parse_chunk_stream(text, path);
+}
+
+CampaignResult merge_chunk_streams(const Scenario& scenario,
+                                   const std::vector<ChunkStream>& streams) {
+  if (streams.empty()) {
+    throw ChunkStreamError("chunk-stream merge: no streams given");
+  }
+  const ChunkStreamHeader& h0 = streams.front().header;
+  if (h0.scenario != scenario.name) {
+    throw ChunkStreamError("chunk-stream merge: stream is for scenario '" +
+                           h0.scenario + "', not '" + scenario.name + "'");
+  }
+  if (streams.size() != h0.shard_count) {
+    throw ChunkStreamError(
+        "chunk-stream merge: campaign was split into " +
+        std::to_string(h0.shard_count) + " shards but " +
+        std::to_string(streams.size()) + " streams were given");
+  }
+
+  CampaignOptions options;
+  options.seed = h0.seed;
+  options.trials_per_point = h0.trials_per_point;
+  options.chunk_size = h0.chunk_size;
+  options.threads = 0;
+
+  std::set<std::size_t> shard_indices;
+  for (const ChunkStream& s : streams) {
+    const ChunkStreamHeader& h = s.header;
+    if (h.scenario != h0.scenario || h.seed != h0.seed ||
+        h.trials_per_point != h0.trials_per_point ||
+        h.chunk_size != h0.chunk_size || h.shard_count != h0.shard_count ||
+        h.point_count != h0.point_count ||
+        h.total_chunks != h0.total_chunks) {
+      throw ChunkStreamError(
+          "chunk-stream merge: stream headers disagree (scenario/seed/"
+          "trials_per_point/chunk_size/shard_count/point_count/"
+          "total_chunks must match across all shards)");
+    }
+    if (!shard_indices.insert(h.shard_index).second) {
+      throw ChunkStreamError("chunk-stream merge: shard index " +
+                             std::to_string(h.shard_index) +
+                             " appears in more than one stream");
+    }
+
+    // Re-derive this shard's plan from the scenario and reject any stream
+    // whose recorded chunk geometry disagrees — the scenario preset (or
+    // its trial count) is not the one the shard actually ran.
+    const ShardPlan plan =
+        plan_shard(scenario, options, h.shard_count, h.shard_index);
+    if (plan.point_count != h.point_count ||
+        plan.total_chunks != h.total_chunks ||
+        plan.chunks.size() != s.chunks.size()) {
+      throw ChunkStreamError(
+          "chunk-stream merge: shard " + std::to_string(h.shard_index) +
+          " geometry disagrees with scenario '" + scenario.name + "'");
+    }
+    for (std::size_t c = 0; c < plan.chunks.size(); ++c) {
+      if (!(s.chunks[c].ref == plan.chunks[c])) {
+        throw ChunkStreamError(
+            "chunk-stream merge: shard " + std::to_string(h.shard_index) +
+            " record " + std::to_string(c) +
+            " does not match the planned chunk (id " +
+            std::to_string(plan.chunks[c].chunk_index) + ")");
+      }
+    }
+  }
+
+  // Every global chunk id exactly once across the shard set.
+  std::vector<const ChunkRecord*> by_id(h0.total_chunks, nullptr);
+  for (const ChunkStream& s : streams) {
+    for (const ChunkRecord& rec : s.chunks) {
+      if (by_id[rec.ref.chunk_index] != nullptr) {
+        throw ChunkStreamError("chunk-stream merge: duplicate chunk id " +
+                               std::to_string(rec.ref.chunk_index));
+      }
+      by_id[rec.ref.chunk_index] = &rec;
+    }
+  }
+  for (std::size_t id = 0; id < by_id.size(); ++id) {
+    if (by_id[id] == nullptr) {
+      throw ChunkStreamError("chunk-stream merge: chunk id " +
+                             std::to_string(id) +
+                             " is missing from every stream");
+    }
+  }
+
+  CampaignResult result;
+  result.scenario = scenario;
+  result.options = options;
+  result.points.resize(h0.point_count);
+  for (std::size_t p = 0; p < h0.point_count; ++p) {
+    result.points[p].point_index = p;
+    result.points[p].axis_value = scenario.axis_value_at(p);
+  }
+  // The fixed fold order that makes the merge bit-identical to a serial
+  // run: ascending global chunk id, exactly like run_campaign.
+  for (const ChunkRecord* rec : by_id) {
+    auto& point = result.points[rec->ref.point_index];
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      point.metrics[m].merge(rec->metrics[m]);
+    }
+  }
+  result.total_trials = h0.point_count * h0.trials_per_point;
+  return result;
+}
+
+}  // namespace hs::campaign

@@ -1,0 +1,95 @@
+/// @file
+/// Versioned, self-describing chunk-stream serialization (JSONL) for
+/// sharded multi-process campaigns, and the merge that folds shard
+/// streams back into aggregates bit-identical to a serial run.
+///
+/// Wire format — one JSON object per line:
+///
+///   line 1    header: {"format":"hs-chunk-stream","version":1,
+///             "scenario":...,"seed":...,"trials_per_point":...,
+///             "chunk_size":...,"shard_count":K,"shard_index":i,
+///             "point_count":...,"total_chunks":...,"chunk_count":N}
+///   lines 2+  exactly N chunk records in ascending global chunk id:
+///             {"chunk":id,"point":p,"trial_begin":a,"trial_end":b,
+///              "metrics":{"<metric_name>":{"count":n,"mean":"0x...",
+///              "m2":"0x...","min":"0x...","max":"0x..."}}}
+///
+/// Doubles travel as C99 hex-float strings ("0x1.5bf0a8b145769p+1"):
+/// exact binary round trip, no decimal rounding, locale-proof. Only
+/// metrics with samples are written.
+///
+/// The parser and merge are strict by design: truncated lines, missing
+/// or duplicate chunk ids, chunk metadata that disagrees with the shard
+/// plan, and header mismatches across streams (different scenario, seed,
+/// trial count, chunk size, shard count or version) are hard errors —
+/// never a silent partial merge.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/runner.hpp"
+
+namespace hs::campaign {
+
+/// Parse/validation failure in a chunk stream; the message names the
+/// offending source and line.
+class ChunkStreamError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr int kChunkStreamVersion = 1;
+
+struct ChunkStreamHeader {
+  int version = kChunkStreamVersion;
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::size_t trials_per_point = 0;
+  std::size_t chunk_size = 1;
+  std::size_t shard_count = 1;
+  std::size_t shard_index = 0;
+  std::size_t point_count = 0;
+  std::size_t total_chunks = 0;  ///< across ALL shards
+  std::size_t chunk_count = 0;   ///< records in THIS stream
+};
+
+struct ChunkRecord {
+  ChunkRef ref;
+  std::array<StreamingStats, kMetricCount> metrics;
+};
+
+struct ChunkStream {
+  ChunkStreamHeader header;
+  std::vector<ChunkRecord> chunks;
+};
+
+/// Serializes one shard's execution. `options` supplies the campaign
+/// seed; the resolved geometry comes from exec.plan.
+std::string serialize_chunk_stream(const Scenario& scenario,
+                                   const CampaignOptions& options,
+                                   const ShardExecution& exec);
+
+/// Parses and validates one stream. `source` names the stream (file
+/// path) in error messages. Throws ChunkStreamError.
+ChunkStream parse_chunk_stream(std::string_view text,
+                               std::string_view source);
+
+/// Reads `path` and parses it. Throws ChunkStreamError (including for
+/// unreadable files).
+ChunkStream load_chunk_stream(const std::string& path);
+
+/// Folds K shard streams into a CampaignResult whose per-point
+/// aggregates — and therefore CSV/JSON reports — are bit-identical to
+/// the serial single-process run of the same (scenario, seed, trials,
+/// chunk size). Validates that the streams agree on every header field,
+/// cover shard indices 0..K-1 exactly once, match the recomputed shard
+/// plans chunk-for-chunk, and jointly cover every global chunk id
+/// exactly once. The result's runtime fields (wall time, threads, pool
+/// counters) are zeroed — reports are canonical. Throws ChunkStreamError.
+CampaignResult merge_chunk_streams(const Scenario& scenario,
+                                   const std::vector<ChunkStream>& streams);
+
+}  // namespace hs::campaign

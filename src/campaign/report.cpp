@@ -27,7 +27,28 @@ std::string csv_field(std::string_view field) {
   return out;
 }
 
-/// Minimal JSON string escaping (quote, backslash, control characters).
+void append_row_metrics(std::string& out, const PointResult& point,
+                        Metric metric, const std::string& prefix,
+                        const std::string& suffix) {
+  const auto& st = point.stats(metric);
+  char buf[512];
+  if (metric_is_indicator(metric)) {
+    const auto w = wilson_interval(st);
+    std::snprintf(buf, sizeof buf, "%zu,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g",
+                  st.count(), st.mean(), st.stddev(), st.min(), st.max(),
+                  w.lo, w.hi);
+  } else {
+    std::snprintf(buf, sizeof buf, "%zu,%.9g,%.9g,%.9g,%.9g,,",
+                  st.count(), st.mean(), st.stddev(), st.min(), st.max());
+  }
+  out += prefix;
+  out += buf;
+  out += suffix;
+  out += '\n';
+}
+
+}  // namespace
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -50,28 +71,6 @@ std::string json_escape(std::string_view s) {
   }
   return out;
 }
-
-void append_row_metrics(std::string& out, const PointResult& point,
-                        Metric metric, const std::string& prefix,
-                        const std::string& suffix) {
-  const auto& st = point.stats(metric);
-  char buf[512];
-  if (metric_is_indicator(metric)) {
-    const auto w = wilson_interval(st);
-    std::snprintf(buf, sizeof buf, "%zu,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g",
-                  st.count(), st.mean(), st.stddev(), st.min(), st.max(),
-                  w.lo, w.hi);
-  } else {
-    std::snprintf(buf, sizeof buf, "%zu,%.9g,%.9g,%.9g,%.9g,,",
-                  st.count(), st.mean(), st.stddev(), st.min(), st.max());
-  }
-  out += prefix;
-  out += buf;
-  out += suffix;
-  out += '\n';
-}
-
-}  // namespace
 
 std::string to_csv(const CampaignResult& result) {
   std::string out =
@@ -209,9 +208,18 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
+void canonicalize(CampaignResult& result) {
+  result.wall_seconds = 0.0;
+  result.options.threads = 0;
+  result.deployments_built = 0;
+  result.deployments_reused = 0;
+  result.chunks_stolen = 0;
+}
+
 std::string perf_snapshot_json(const CampaignResult& serial_no_reuse,
                                const CampaignResult& serial_reuse,
-                               const CampaignResult& parallel_reuse) {
+                               const CampaignResult& parallel_reuse,
+                               unsigned hardware_threads) {
   const auto ratio = [](const CampaignResult& a, const CampaignResult& b) {
     return a.wall_seconds > 0.0 && b.wall_seconds > 0.0
                ? a.wall_seconds / b.wall_seconds
@@ -225,23 +233,26 @@ std::string perf_snapshot_json(const CampaignResult& serial_no_reuse,
       "  \"scenario\": \"%s\",\n"
       "  \"seed\": %" PRIu64 ",\n"
       "  \"total_trials\": %zu,\n"
+      "  \"hardware_threads\": %u,\n"
       "  \"serial_no_reuse\": {\"threads\": 1, \"wall_seconds\": %.6f, "
       "\"trials_per_second\": %.3f},\n"
       "  \"serial\": {\"threads\": 1, \"wall_seconds\": %.6f, "
       "\"trials_per_second\": %.3f, \"deployments_built\": %zu, "
       "\"deployments_reused\": %zu},\n"
       "  \"parallel\": {\"threads\": %u, \"wall_seconds\": %.6f, "
-      "\"trials_per_second\": %.3f},\n"
+      "\"trials_per_second\": %.3f, \"chunks_stolen\": %zu},\n"
       "  \"reuse_speedup\": %.3f,\n"
       "  \"thread_speedup\": %.3f,\n"
       "  \"speedup\": %.3f\n"
       "}\n",
       serial_no_reuse.scenario.name.c_str(), serial_no_reuse.options.seed,
-      serial_no_reuse.total_trials, serial_no_reuse.wall_seconds,
+      serial_no_reuse.total_trials, hardware_threads,
+      serial_no_reuse.wall_seconds,
       serial_no_reuse.trials_per_second(), serial_reuse.wall_seconds,
       serial_reuse.trials_per_second(), serial_reuse.deployments_built,
       serial_reuse.deployments_reused, parallel_reuse.options.threads,
       parallel_reuse.wall_seconds, parallel_reuse.trials_per_second(),
+      parallel_reuse.chunks_stolen,
       ratio(serial_no_reuse, serial_reuse),
       ratio(serial_reuse, parallel_reuse),
       ratio(serial_no_reuse, parallel_reuse));

@@ -7,10 +7,15 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 #include "campaign/runner.hpp"
 
 namespace hs::campaign {
+
+/// Minimal JSON string escaping (quote, backslash, control characters) —
+/// shared by the report emitters and the chunk-stream writer.
+std::string json_escape(std::string_view s);
 
 /// One row per (point, metric): axis value, sample count, mean, stddev,
 /// min, max and the Wilson 95% interval for indicator metrics.
@@ -26,13 +31,24 @@ void print_summary(std::FILE* out, const CampaignResult& result);
 /// failure.
 bool write_file(const std::string& path, const std::string& content);
 
+/// Zeroes the runtime-dependent fields (wall time, thread count, pool
+/// counters) so reports from different executions of the same campaign —
+/// serial vs sharded-and-merged — compare byte-for-byte. Merged results
+/// from campaign::merge_chunk_streams are canonical already; apply this
+/// to the serial reference before diffing reports.
+void canonicalize(CampaignResult& result);
+
 /// Perf snapshot comparing three runs of the same campaign — 1 thread
 /// without deployment reuse, 1 thread with reuse, N threads with reuse —
 /// as JSON ("BENCH_campaign.json" trajectory format). `reuse_speedup` is
 /// the batched-deployment-reuse win; `thread_speedup` the worker-pool
-/// win on top of it.
+/// win on top of it. `hardware_threads` records what
+/// std::thread::hardware_concurrency() reported, so a snapshot taken on
+/// a small machine is self-describing (a 1-hardware-thread box cannot
+/// show thread_speedup > 1).
 std::string perf_snapshot_json(const CampaignResult& serial_no_reuse,
                                const CampaignResult& serial_reuse,
-                               const CampaignResult& parallel_reuse);
+                               const CampaignResult& parallel_reuse,
+                               unsigned hardware_threads);
 
 }  // namespace hs::campaign

@@ -5,6 +5,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <deque>
+#include <mutex>
+#include <optional>
 #include <thread>
 
 #include "dsp/correlate.hpp"
@@ -394,10 +397,27 @@ std::vector<TrialSample> run_spectrum_trial(const Scenario& s,
   return out;
 }
 
-struct Chunk {
-  std::size_t point_index;
-  std::size_t trial_begin;
-  std::size_t trial_end;
+/// One worker's share of the shard's chunk list. The owner pops from the
+/// front; thieves pop from the back, so an owner streaming through
+/// consecutive chunks keeps its deployment-reuse locality for as long as
+/// possible.
+struct WorkerDeque {
+  std::mutex mutex;
+  std::deque<std::size_t> chunks;  // indices into plan.chunks
+
+  std::optional<std::size_t> pop(bool steal) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (chunks.empty()) return std::nullopt;
+    std::size_t c;
+    if (steal) {
+      c = chunks.back();
+      chunks.pop_back();
+    } else {
+      c = chunks.front();
+      chunks.pop_front();
+    }
+    return c;
+  }
 };
 
 }  // namespace
@@ -442,34 +462,17 @@ std::vector<TrialSample> run_trial(const Scenario& scenario,
   return {};
 }
 
-CampaignResult run_campaign(const Scenario& scenario,
-                            const CampaignOptions& options) {
-  CampaignResult result;
-  result.scenario = scenario;
-  result.options = options;
-
-  const std::size_t trials = options.trials_per_point > 0
-                                 ? options.trials_per_point
-                                 : scenario.default_trials;
-  const std::size_t point_count = scenario.point_count();
-  const std::size_t chunk_size = std::max<std::size_t>(options.chunk_size, 1);
-
-  result.points.resize(point_count);
-  std::vector<Chunk> chunks;
-  for (std::size_t p = 0; p < point_count; ++p) {
-    result.points[p].point_index = p;
-    result.points[p].axis_value =
-        scenario.axis == SweepAxis::kNone ? 0.0 : scenario.axis_values[p];
-    for (std::size_t t = 0; t < trials; t += chunk_size) {
-      chunks.push_back(Chunk{p, t, std::min(t + chunk_size, trials)});
-    }
-  }
-
-  // Chunk-local accumulators: workers race only on the chunk counter, and
-  // the deterministic chunk order (not the thread schedule) defines the
-  // final merge order.
-  std::vector<std::array<StreamingStats, kMetricCount>> chunk_stats(
-      chunks.size());
+ShardExecution run_campaign_shard(const Scenario& scenario,
+                                  const CampaignOptions& options,
+                                  std::size_t shard_count,
+                                  std::size_t shard_index) {
+  ShardExecution exec;
+  exec.plan = plan_shard(scenario, options, shard_count, shard_index);
+  const std::vector<ChunkRef>& chunks = exec.plan.chunks;
+  // Chunk-local accumulators: workers never share one, and the
+  // deterministic chunk ids (not the thread schedule) define the final
+  // merge order.
+  exec.chunk_metrics.resize(chunks.size());
 
   unsigned thread_count = options.threads > 0
                               ? options.threads
@@ -477,12 +480,22 @@ CampaignResult run_campaign(const Scenario& scenario,
   thread_count = std::min<unsigned>(
       thread_count, static_cast<unsigned>(std::max<std::size_t>(
                         chunks.size(), 1)));
-  result.options.threads = thread_count;
+  exec.threads = thread_count;
 
-  std::atomic<std::size_t> next_chunk{0};
+  // Deal contiguous blocks of the chunk list into per-worker deques; the
+  // work-stealing loop rebalances from there. No chunk is ever added
+  // after this point, so "every deque observed empty" is a safe
+  // termination condition.
+  std::vector<WorkerDeque> queues(thread_count);
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    queues[c * thread_count / std::max<std::size_t>(chunks.size(), 1)]
+        .chunks.push_back(c);
+  }
+
   std::atomic<std::size_t> deployments_built{0};
   std::atomic<std::size_t> deployments_reused{0};
-  const auto worker = [&]() {
+  std::atomic<std::size_t> chunks_stolen{0};
+  const auto worker = [&](unsigned self) {
     // One trial-context pool per worker: deployments and experiment nodes
     // are reset-and-reseeded between this worker's trials instead of
     // reconstructed (bit-identical either way; see trial_context.hpp).
@@ -490,17 +503,21 @@ CampaignResult run_campaign(const Scenario& scenario,
     shield::TrialContext* context =
         options.reuse_deployments ? &pool : nullptr;
     for (;;) {
-      const std::size_t c = next_chunk.fetch_add(1);
-      if (c >= chunks.size()) break;
-      const Chunk& chunk = chunks[c];
-      const double axis_value = result.points[chunk.point_index].axis_value;
+      std::optional<std::size_t> c = queues[self].pop(false);
+      for (unsigned v = 1; !c && v < thread_count; ++v) {
+        c = queues[(self + v) % thread_count].pop(true);
+        if (c) chunks_stolen.fetch_add(1);
+      }
+      if (!c) break;
+      const ChunkRef& chunk = chunks[*c];
+      const double axis_value = scenario.axis_value_at(chunk.point_index);
       for (std::size_t t = chunk.trial_begin; t < chunk.trial_end; ++t) {
         const std::uint64_t seed = trial_seed(options.seed, scenario.name,
                                               chunk.point_index, t);
         const auto samples =
             run_trial(scenario, chunk.point_index, axis_value, seed, context);
         for (const auto& sample : samples) {
-          chunk_stats[c][static_cast<std::size_t>(sample.metric)].add(
+          exec.chunk_metrics[*c][static_cast<std::size_t>(sample.metric)].add(
               sample.value);
         }
       }
@@ -511,25 +528,50 @@ CampaignResult run_campaign(const Scenario& scenario,
 
   const auto t0 = std::chrono::steady_clock::now();
   if (thread_count <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(thread_count);
-    for (unsigned i = 0; i < thread_count; ++i) pool.emplace_back(worker);
+    for (unsigned i = 0; i < thread_count; ++i) {
+      pool.emplace_back(worker, i);
+    }
     for (auto& th : pool) th.join();
   }
   const auto t1 = std::chrono::steady_clock::now();
-  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  exec.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  exec.deployments_built = deployments_built.load();
+  exec.deployments_reused = deployments_reused.load();
+  exec.chunks_stolen = chunks_stolen.load();
+  return exec;
+}
 
-  for (std::size_t c = 0; c < chunks.size(); ++c) {
-    auto& point = result.points[chunks[c].point_index];
+CampaignResult run_campaign(const Scenario& scenario,
+                            const CampaignOptions& options) {
+  CampaignResult result;
+  result.scenario = scenario;
+  result.options = options;
+
+  ShardExecution exec = run_campaign_shard(scenario, options, 1, 0);
+  result.options.threads = exec.threads;
+  result.wall_seconds = exec.wall_seconds;
+  result.deployments_built = exec.deployments_built;
+  result.deployments_reused = exec.deployments_reused;
+  result.chunks_stolen = exec.chunks_stolen;
+
+  result.points.resize(exec.plan.point_count);
+  for (std::size_t p = 0; p < exec.plan.point_count; ++p) {
+    result.points[p].point_index = p;
+    result.points[p].axis_value = scenario.axis_value_at(p);
+  }
+  // A single shard's chunks are already every chunk in ascending id
+  // order — fold them exactly as the multi-shard merge does.
+  for (std::size_t c = 0; c < exec.plan.chunks.size(); ++c) {
+    auto& point = result.points[exec.plan.chunks[c].point_index];
     for (std::size_t m = 0; m < kMetricCount; ++m) {
-      point.metrics[m].merge(chunk_stats[c][m]);
+      point.metrics[m].merge(exec.chunk_metrics[c][m]);
     }
   }
-  result.total_trials = point_count * trials;
-  result.deployments_built = deployments_built.load();
-  result.deployments_reused = deployments_reused.load();
+  result.total_trials = exec.plan.point_count * exec.plan.trials_per_point;
   return result;
 }
 

@@ -13,6 +13,13 @@
 /// (reused trials are bit-identical to fresh ones; see trial_context.hpp).
 /// CampaignOptions::reuse_deployments — the CLI's `--no-reuse` — turns
 /// the pool off.
+///
+/// Chunks are scheduled through per-worker deques with work stealing: an
+/// idle worker takes chunks from the tail of a busy worker's deque. Only
+/// chunk boundaries — never the steal order — define the RNG streams and
+/// the merge order, so the stolen schedule preserves bit-identity.
+/// run_campaign_shard() runs one shard of a multi-process campaign on the
+/// same pool (see shard.hpp / chunk_stream.hpp).
 #pragma once
 
 #include <array>
@@ -22,6 +29,7 @@
 #include <vector>
 
 #include "campaign/scenario.hpp"
+#include "campaign/shard.hpp"
 #include "campaign/stats.hpp"
 
 namespace hs::shield {
@@ -68,6 +76,9 @@ struct CampaignResult {
   /// 0 with reuse_deployments off or for kinds that need no deployment).
   std::size_t deployments_built = 0;
   std::size_t deployments_reused = 0;
+  /// Chunks an idle worker took from another worker's deque. Schedule
+  /// observability only — steals never affect aggregates.
+  std::size_t chunks_stolen = 0;
 
   double trials_per_second() const {
     return wall_seconds > 0.0
@@ -96,6 +107,27 @@ std::vector<TrialSample> run_trial(const Scenario& scenario,
                                    std::size_t point_index,
                                    double axis_value, std::uint64_t seed,
                                    shield::TrialContext* context = nullptr);
+
+/// One shard's execution: per-chunk accumulators (parallel to
+/// plan.chunks) plus the pool counters. Kept un-merged so the chunk
+/// stream can serialize every chunk individually.
+struct ShardExecution {
+  ShardPlan plan;
+  std::vector<std::array<StreamingStats, kMetricCount>> chunk_metrics;
+  unsigned threads = 1;
+  double wall_seconds = 0.0;
+  std::size_t deployments_built = 0;
+  std::size_t deployments_reused = 0;
+  std::size_t chunks_stolen = 0;
+};
+
+/// Runs shard `shard_index` of `shard_count` on the work-stealing pool.
+/// (shard_count, shard_index) = (1, 0) executes the whole campaign —
+/// run_campaign is exactly that plus the fixed-order chunk merge.
+ShardExecution run_campaign_shard(const Scenario& scenario,
+                                  const CampaignOptions& options,
+                                  std::size_t shard_count,
+                                  std::size_t shard_index);
 
 /// Runs the full campaign on the configured worker pool.
 CampaignResult run_campaign(const Scenario& scenario,

@@ -372,6 +372,17 @@ std::string_view metric_name(Metric metric) {
   return "unknown";
 }
 
+bool metric_from_name(std::string_view name, Metric* out) {
+  for (std::size_t m = 0; m < kMetricCount; ++m) {
+    const Metric metric = static_cast<Metric>(m);
+    if (metric_name(metric) == name) {
+      *out = metric;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool metric_is_indicator(Metric metric) {
   switch (metric) {
     case Metric::kAttackSuccess:

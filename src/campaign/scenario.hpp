@@ -99,6 +99,12 @@ struct Scenario {
   std::size_t point_count() const {
     return axis == SweepAxis::kNone ? 1 : axis_values.size();
   }
+
+  /// The axis value at a sweep point (0 for single-point scenarios) —
+  /// the one definition both the runner and the chunk-stream merge use.
+  double axis_value_at(std::size_t point_index) const {
+    return axis == SweepAxis::kNone ? 0.0 : axis_values[point_index];
+  }
 };
 
 /// The metrics a trial can emit. Indicator metrics (0/1 samples) support
@@ -128,6 +134,10 @@ inline constexpr std::size_t kMetricCount = 18;
 
 /// Stable short name used in CSV/JSON reports.
 std::string_view metric_name(Metric metric);
+
+/// Inverse of metric_name (the chunk-stream parser's lookup); returns
+/// false when the name matches no metric.
+bool metric_from_name(std::string_view name, Metric* out);
 
 /// True for 0/1 indicator metrics (Wilson intervals are meaningful).
 bool metric_is_indicator(Metric metric);

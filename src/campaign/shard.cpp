@@ -1,0 +1,48 @@
+#include "campaign/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "campaign/runner.hpp"
+
+namespace hs::campaign {
+
+std::size_t resolved_trials(const Scenario& scenario,
+                            const CampaignOptions& options) {
+  return options.trials_per_point > 0 ? options.trials_per_point
+                                      : scenario.default_trials;
+}
+
+ShardPlan plan_shard(const Scenario& scenario, const CampaignOptions& options,
+                     std::size_t shard_count, std::size_t shard_index) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("plan_shard: shard_count must be >= 1");
+  }
+  if (shard_index >= shard_count) {
+    throw std::invalid_argument(
+        "plan_shard: shard_index must be < shard_count");
+  }
+  ShardPlan plan;
+  plan.shard_count = shard_count;
+  plan.shard_index = shard_index;
+  plan.point_count = scenario.point_count();
+  plan.trials_per_point = resolved_trials(scenario, options);
+  plan.chunk_size = std::max<std::size_t>(options.chunk_size, 1);
+
+  // The global chunk enumeration every shard (and the serial runner)
+  // agrees on; round-robin dealing spreads each sweep point's trials
+  // evenly across shards.
+  for (std::size_t p = 0; p < plan.point_count; ++p) {
+    for (std::size_t t = 0; t < plan.trials_per_point;
+         t += plan.chunk_size) {
+      const std::size_t id = plan.total_chunks++;
+      if (id % shard_count != shard_index) continue;
+      plan.chunks.push_back(
+          ChunkRef{id, p, t,
+                   std::min(t + plan.chunk_size, plan.trials_per_point)});
+    }
+  }
+  return plan;
+}
+
+}  // namespace hs::campaign

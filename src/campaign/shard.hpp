@@ -1,0 +1,58 @@
+/// @file
+/// Deterministic shard planning for multi-process campaigns.
+///
+/// A campaign's (point, trial) space expands into a fixed, globally
+/// ordered chunk list — the same enumeration the in-process runner uses:
+/// for each sweep point in order, trials grouped into chunks of
+/// `chunk_size`. plan_shard() deals those chunks round-robin across K
+/// shards, so shard i's plan is a pure function of (scenario, resolved
+/// options, K, i) and shard processes never need to communicate. Each
+/// shard executes only its own chunks; folding the per-chunk accumulators
+/// back in ascending global chunk order reproduces the serial aggregates
+/// bit-for-bit (chunk_stream.hpp defines the wire format and the merge).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+
+namespace hs::campaign {
+
+struct CampaignOptions;
+
+/// One work chunk: a contiguous trial range at one sweep point, plus its
+/// dense global id (the merge key).
+struct ChunkRef {
+  std::size_t chunk_index = 0;  ///< global chunk id across the whole campaign
+  std::size_t point_index = 0;
+  std::size_t trial_begin = 0;
+  std::size_t trial_end = 0;
+
+  bool operator==(const ChunkRef&) const = default;
+};
+
+/// The chunks one shard executes, plus the resolved campaign geometry
+/// every shard must agree on before their streams may merge.
+struct ShardPlan {
+  std::size_t shard_count = 1;
+  std::size_t shard_index = 0;
+  std::size_t point_count = 0;
+  std::size_t trials_per_point = 0;  ///< resolved (scenario default applied)
+  std::size_t chunk_size = 1;        ///< resolved (clamped to >= 1)
+  std::size_t total_chunks = 0;      ///< across ALL shards
+  std::vector<ChunkRef> chunks;      ///< this shard's chunks, ascending ids
+};
+
+/// Trials per point after applying the scenario default.
+std::size_t resolved_trials(const Scenario& scenario,
+                            const CampaignOptions& options);
+
+/// Plans shard `shard_index` of `shard_count`. Keyed only by the
+/// scenario's sweep shape and the resolved (trials, chunk_size) — NOT by
+/// thread count or execution order. Throws std::invalid_argument when
+/// shard_count == 0 or shard_index >= shard_count.
+ShardPlan plan_shard(const Scenario& scenario, const CampaignOptions& options,
+                     std::size_t shard_count, std::size_t shard_index);
+
+}  // namespace hs::campaign

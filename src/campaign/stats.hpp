@@ -17,6 +17,17 @@ namespace hs::campaign {
 /// long as the merge order is deterministic, results are bit-reproducible.
 class StreamingStats {
  public:
+  /// The raw accumulator state, exposed so the sharded-campaign chunk
+  /// streams can serialize accumulators exactly (hex-float round trip)
+  /// and rebuild them bit-identical in the merge process.
+  struct Moments {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
   void add(double x);
 
   /// Folds `other` into this accumulator (Chan et al.'s parallel update).
@@ -35,6 +46,20 @@ class StreamingStats {
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
   double sum() const { return mean_ * static_cast<double>(count_); }
+
+  Moments moments() const {
+    return Moments{count_, mean_, m2_, min_, max_};
+  }
+  static StreamingStats from_moments(const Moments& m) {
+    StreamingStats st;
+    if (m.count == 0) return st;
+    st.count_ = m.count;
+    st.mean_ = m.mean;
+    st.m2_ = m.m2;
+    st.min_ = m.min;
+    st.max_ = m.max;
+    return st;
+  }
 
  private:
   std::size_t count_ = 0;

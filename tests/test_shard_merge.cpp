@@ -1,0 +1,387 @@
+// Sharded-campaign correctness: (1) ShardMerge.* — K independently-run
+// shards, serialized to chunk streams and merged, must reproduce the
+// serial single-process aggregates bit-for-bit (EXPECT_EQ on doubles,
+// including Welford variance and Wilson intervals) and byte-for-byte in
+// CSV/JSON; (2) ChunkStream.* — the wire format round-trips exactly and
+// rejects truncation, duplication and header mismatches instead of
+// silently merging; (3) WorkStealing.* — the stealing scheduler never
+// perturbs aggregates or the deployment-pool accounting, across thread
+// counts and many repetitions.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/chunk_stream.hpp"
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario.hpp"
+#include "campaign/shard.hpp"
+
+namespace hs::campaign {
+namespace {
+
+/// A preset shrunk to a test-sized sweep: the genuine trial code paths,
+/// milliseconds per trial.
+Scenario shrunk(const char* preset, std::vector<double> axis_values,
+                std::size_t units_per_trial) {
+  const Scenario* s = find_scenario(preset);
+  EXPECT_NE(s, nullptr) << preset;
+  Scenario out = *s;
+  if (!axis_values.empty()) out.axis_values = std::move(axis_values);
+  out.units_per_trial = units_per_trial;
+  return out;
+}
+
+/// Runs every shard of a K-way split in-process and parses each stream
+/// back, mimicking what K separate campaign_runner processes produce.
+std::vector<ChunkStream> run_shards(const Scenario& s,
+                                    const CampaignOptions& opt,
+                                    std::size_t shard_count) {
+  std::vector<ChunkStream> streams;
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    const auto exec = run_campaign_shard(s, opt, shard_count, i);
+    streams.push_back(
+        parse_chunk_stream(serialize_chunk_stream(s, opt, exec),
+                           "shard-" + std::to_string(i)));
+  }
+  return streams;
+}
+
+/// Bit-identical aggregates: every moment EXPECT_EQ, no tolerance —
+/// including the derived variance/stddev and the Wilson interval of
+/// indicator metrics.
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      const auto& sa = a.points[p].metrics[m];
+      const auto& sb = b.points[p].metrics[m];
+      EXPECT_EQ(sa.count(), sb.count());
+      EXPECT_EQ(sa.mean(), sb.mean());
+      EXPECT_EQ(sa.variance(), sb.variance());
+      EXPECT_EQ(sa.stddev(), sb.stddev());
+      EXPECT_EQ(sa.min(), sb.min());
+      EXPECT_EQ(sa.max(), sb.max());
+      if (metric_is_indicator(static_cast<Metric>(m))) {
+        const auto wa = wilson_interval(sa);
+        const auto wb = wilson_interval(sb);
+        EXPECT_EQ(wa.lo, wb.lo);
+        EXPECT_EQ(wa.hi, wb.hi);
+      }
+    }
+  }
+}
+
+TEST(ShardPlan, DealsChunksRoundRobinAndCoversExactly) {
+  Scenario s = shrunk("fig8-tradeoff", {10.0, 15.0, 20.0}, 1);
+  CampaignOptions opt;
+  opt.trials_per_point = 5;
+  opt.chunk_size = 2;  // uneven: 5 trials -> chunks of 2,2,1 per point
+
+  std::vector<bool> covered(9, false);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const ShardPlan plan = plan_shard(s, opt, 3, i);
+    EXPECT_EQ(plan.total_chunks, 9u);
+    EXPECT_EQ(plan.point_count, 3u);
+    EXPECT_EQ(plan.trials_per_point, 5u);
+    std::size_t prev_id = 0;
+    for (std::size_t c = 0; c < plan.chunks.size(); ++c) {
+      const ChunkRef& ref = plan.chunks[c];
+      EXPECT_EQ(ref.chunk_index % 3, i);  // round-robin deal
+      if (c > 0) {
+        EXPECT_GT(ref.chunk_index, prev_id);
+      }
+      prev_id = ref.chunk_index;
+      ASSERT_LT(ref.chunk_index, covered.size());
+      EXPECT_FALSE(covered[ref.chunk_index]);
+      covered[ref.chunk_index] = true;
+      EXPECT_LT(ref.trial_begin, ref.trial_end);
+      EXPECT_LE(ref.trial_end, 5u);
+    }
+  }
+  for (bool c : covered) EXPECT_TRUE(c);  // disjoint exact cover
+
+  EXPECT_THROW(plan_shard(s, opt, 0, 0), std::invalid_argument);
+  EXPECT_THROW(plan_shard(s, opt, 3, 3), std::invalid_argument);
+}
+
+TEST(ShardMerge, BitIdenticalToSerialAcrossPresetsAndShardCounts) {
+  // Three experiment families: spectrum (no deployment), eavesdrop
+  // (full deployment + sweep), active attack (multi-sample indicators).
+  const std::vector<Scenario> cases = {
+      shrunk("fig5-jam-shaped", {}, 1),
+      shrunk("fig8-tradeoff", {10.0, 20.0}, 1),
+      shrunk("fig11-trigger", {1.0, 9.0}, 1),
+  };
+  for (const Scenario& s : cases) {
+    SCOPED_TRACE(s.name);
+    CampaignOptions opt;
+    opt.seed = 13;
+    opt.threads = 1;
+    opt.trials_per_point = 4;
+    auto serial = run_campaign(s, opt);
+    canonicalize(serial);
+    const std::string serial_csv = to_csv(serial);
+    const std::string serial_json = to_json(serial);
+
+    for (std::size_t shard_count : {2u, 3u, 7u}) {
+      SCOPED_TRACE(shard_count);
+      const auto merged =
+          merge_chunk_streams(s, run_shards(s, opt, shard_count));
+      expect_identical(serial, merged);
+      // Not just equal aggregates: the emitted reports are the same bytes.
+      EXPECT_EQ(serial_csv, to_csv(merged));
+      EXPECT_EQ(serial_json, to_json(merged));
+    }
+  }
+}
+
+TEST(ShardMerge, EveryPresetMergesBitIdentical) {
+  // The acceptance sweep: every preset in --list, shrunk to at most two
+  // sweep points and one unit per trial, K=3 sharded, merged, compared
+  // EXPECT_EQ against serial.
+  for (const Scenario& preset : scenario_presets()) {
+    SCOPED_TRACE(preset.name);
+    Scenario s = preset;
+    if (s.axis != SweepAxis::kNone && s.axis_values.size() > 2) {
+      s.axis_values.resize(2);
+    }
+    s.units_per_trial = 1;
+    CampaignOptions opt;
+    opt.seed = 5;
+    opt.threads = 1;
+    opt.trials_per_point = 2;
+
+    auto serial = run_campaign(s, opt);
+    canonicalize(serial);
+    const auto merged = merge_chunk_streams(s, run_shards(s, opt, 3));
+    expect_identical(serial, merged);
+    EXPECT_EQ(to_csv(serial), to_csv(merged));
+    EXPECT_EQ(to_json(serial), to_json(merged));
+  }
+}
+
+TEST(ChunkStream, RoundTripsExactly) {
+  const Scenario s = shrunk("fig8-tradeoff", {10.0, 20.0}, 1);
+  CampaignOptions opt;
+  opt.seed = 21;
+  opt.threads = 1;
+  opt.trials_per_point = 5;
+  opt.chunk_size = 2;  // uneven trailing chunk
+  const auto exec = run_campaign_shard(s, opt, 2, 1);
+  const std::string text = serialize_chunk_stream(s, opt, exec);
+  const ChunkStream stream = parse_chunk_stream(text, "round-trip");
+
+  EXPECT_EQ(stream.header.version, kChunkStreamVersion);
+  EXPECT_EQ(stream.header.scenario, s.name);
+  EXPECT_EQ(stream.header.seed, 21u);
+  EXPECT_EQ(stream.header.trials_per_point, 5u);
+  EXPECT_EQ(stream.header.chunk_size, 2u);
+  EXPECT_EQ(stream.header.shard_count, 2u);
+  EXPECT_EQ(stream.header.shard_index, 1u);
+  EXPECT_EQ(stream.header.total_chunks, exec.plan.total_chunks);
+  ASSERT_EQ(stream.chunks.size(), exec.plan.chunks.size());
+  for (std::size_t c = 0; c < stream.chunks.size(); ++c) {
+    EXPECT_EQ(stream.chunks[c].ref, exec.plan.chunks[c]);
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      const auto want = exec.chunk_metrics[c][m].moments();
+      const auto got = stream.chunks[c].metrics[m].moments();
+      EXPECT_EQ(want.count, got.count);
+      // Hex-float round trip: the exact bits, not a decimal approximation.
+      EXPECT_EQ(want.mean, got.mean);
+      EXPECT_EQ(want.m2, got.m2);
+      EXPECT_EQ(want.min, got.min);
+      EXPECT_EQ(want.max, got.max);
+    }
+  }
+
+  // Serialization is deterministic: same execution, same bytes.
+  EXPECT_EQ(text, serialize_chunk_stream(s, opt, exec));
+}
+
+class ChunkStreamCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = shrunk("fig5-jam-shaped", {}, 1);
+    opt_.seed = 3;
+    opt_.threads = 1;
+    opt_.trials_per_point = 6;
+    text_ = serialize_chunk_stream(
+        scenario_, opt_, run_campaign_shard(scenario_, opt_, 1, 0));
+  }
+
+  std::vector<std::string> lines() const {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start < text_.size()) {
+      const std::size_t end = text_.find('\n', start);
+      out.push_back(text_.substr(start, end - start));
+      start = end + 1;
+    }
+    return out;
+  }
+
+  static std::string join(const std::vector<std::string>& ls) {
+    std::string out;
+    for (const auto& l : ls) {
+      out += l;
+      out += '\n';
+    }
+    return out;
+  }
+
+  Scenario scenario_;
+  CampaignOptions opt_;
+  std::string text_;
+};
+
+TEST_F(ChunkStreamCorruption, RejectsByteTruncation) {
+  // Cut mid-line: the final newline disappears.
+  EXPECT_THROW(
+      parse_chunk_stream(text_.substr(0, text_.size() - 17), "cut"),
+      ChunkStreamError);
+  // Cut a whole record: line count disagrees with the header's promise.
+  auto ls = lines();
+  ls.pop_back();
+  EXPECT_THROW(parse_chunk_stream(join(ls), "short"), ChunkStreamError);
+  // Empty input.
+  EXPECT_THROW(parse_chunk_stream("", "empty"), ChunkStreamError);
+}
+
+TEST_F(ChunkStreamCorruption, RejectsDuplicateChunkIds) {
+  auto ls = lines();
+  ASSERT_GE(ls.size(), 3u);
+  ls[2] = ls[1];  // same record twice, line count still matches
+  EXPECT_THROW(parse_chunk_stream(join(ls), "dup"), ChunkStreamError);
+}
+
+TEST_F(ChunkStreamCorruption, RejectsVersionAndFormatMismatch) {
+  std::string forged = text_;
+  forged.replace(forged.find("\"version\":1"), 11, "\"version\":9");
+  EXPECT_THROW(parse_chunk_stream(forged, "v9"), ChunkStreamError);
+
+  std::string not_ours = text_;
+  not_ours.replace(not_ours.find("hs-chunk-stream"), 15, "something-else-");
+  EXPECT_THROW(parse_chunk_stream(not_ours, "alien"), ChunkStreamError);
+}
+
+TEST_F(ChunkStreamCorruption, MergeRejectsMismatchedStreams) {
+  // Seed mismatch across shards.
+  CampaignOptions other_seed = opt_;
+  other_seed.seed = 4;
+  std::vector<ChunkStream> mixed;
+  mixed.push_back(parse_chunk_stream(
+      serialize_chunk_stream(scenario_, opt_,
+                             run_campaign_shard(scenario_, opt_, 2, 0)),
+      "a"));
+  mixed.push_back(parse_chunk_stream(
+      serialize_chunk_stream(scenario_, other_seed,
+                             run_campaign_shard(scenario_, other_seed, 2, 1)),
+      "b"));
+  EXPECT_THROW(merge_chunk_streams(scenario_, mixed), ChunkStreamError);
+
+  // The same shard twice.
+  const auto shard0 = parse_chunk_stream(
+      serialize_chunk_stream(scenario_, opt_,
+                             run_campaign_shard(scenario_, opt_, 2, 0)),
+      "a");
+  EXPECT_THROW(merge_chunk_streams(scenario_, {shard0, shard0}),
+               ChunkStreamError);
+
+  // Fewer streams than the split was planned for.
+  EXPECT_THROW(merge_chunk_streams(scenario_, {shard0}), ChunkStreamError);
+
+  // A scenario that is not the one the streams were recorded from.
+  const auto whole = parse_chunk_stream(text_, "whole");
+  const Scenario* other = find_scenario("fig4-fsk-profile");
+  ASSERT_NE(other, nullptr);
+  EXPECT_THROW(merge_chunk_streams(*other, {whole}), ChunkStreamError);
+
+  // The right preset name but different sweep geometry (trial count):
+  // the recomputed plan disagrees with the recorded chunks.
+  CampaignOptions fatter = opt_;
+  fatter.trials_per_point = 12;
+  const auto fat = parse_chunk_stream(
+      serialize_chunk_stream(scenario_, fatter,
+                             run_campaign_shard(scenario_, fatter, 2, 0)),
+      "fat");
+  const auto thin = parse_chunk_stream(
+      serialize_chunk_stream(scenario_, opt_,
+                             run_campaign_shard(scenario_, opt_, 2, 1)),
+      "thin");
+  EXPECT_THROW(merge_chunk_streams(scenario_, {fat, thin}),
+               ChunkStreamError);
+
+  // Nothing at all.
+  EXPECT_THROW(merge_chunk_streams(scenario_, {}), ChunkStreamError);
+}
+
+TEST(WorkStealing, Fig9AggregatesAndAccountingStableUnderStress) {
+  // fig9's eavesdrop path, shrunk to two locations and one packet per
+  // trial. 50 repetitions at every thread count: the stealing schedule
+  // varies run to run, the aggregates and the deployment-pool accounting
+  // must not.
+  Scenario s = shrunk("fig9-eaves-ber", {1.0, 7.0}, 1);
+  CampaignOptions opt;
+  opt.seed = 17;
+  opt.threads = 1;
+  opt.trials_per_point = 3;
+  const auto reference = run_campaign(s, opt);
+
+  // Every eavesdrop trial acquires exactly one pooled deployment, so
+  // builds + reuses must equal the trial count — the accounting identity
+  // that catches a worker double-counting or dropping acquisitions.
+  const std::size_t acquisitions =
+      reference.deployments_built + reference.deployments_reused;
+  EXPECT_EQ(acquisitions, reference.total_trials);
+
+  std::vector<unsigned> thread_counts = {2, 3};
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 3) thread_counts.push_back(hw);
+
+  for (int rep = 0; rep < 50; ++rep) {
+    for (unsigned threads : thread_counts) {
+      CampaignOptions parallel = opt;
+      parallel.threads = threads;
+      const auto result = run_campaign(s, parallel);
+      expect_identical(reference, result);
+      EXPECT_EQ(result.deployments_built + result.deployments_reused,
+                acquisitions)
+          << "rep " << rep << " threads " << threads;
+      // Each worker builds at most one deployment for this single-config
+      // scenario, however the steals landed.
+      EXPECT_LE(result.deployments_built, static_cast<std::size_t>(threads));
+      if (testing::Test::HasFailure()) return;  // don't spam 50x
+    }
+  }
+}
+
+TEST(WorkStealing, ChunkSizeBoundariesNotThreadsDefineAggregates) {
+  // Changing thread count never changes aggregates; changing chunk_size
+  // legitimately may (it changes the merge tree). Guard both directions
+  // so nobody "fixes" determinism by accident of a shared accumulator.
+  const Scenario s = shrunk("fig5-jam-shaped", {}, 1);
+  CampaignOptions a;
+  a.seed = 29;
+  a.threads = 1;
+  a.trials_per_point = 12;
+  CampaignOptions b = a;
+  b.threads = 4;
+  expect_identical(run_campaign(s, a), run_campaign(s, b));
+
+  CampaignOptions c = a;
+  c.chunk_size = 5;
+  const auto chunked = run_campaign(s, c);
+  // Counts match even though the merge tree differs.
+  EXPECT_EQ(chunked.points[0].stats(Metric::kToneBandFraction).count(),
+            run_campaign(s, a)
+                .points[0]
+                .stats(Metric::kToneBandFraction)
+                .count());
+}
+
+}  // namespace
+}  // namespace hs::campaign

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Launch a campaign as K shard processes and merge their chunk streams.
+
+Spawns K `campaign_runner --shards=K --shard=i --emit-chunks=...`
+processes (no communication between them — each shard's chunk set is a
+pure function of (scenario, seed, trials, K, i)), waits for all of them,
+then runs `campaign_runner --merge` to fold the streams into CSV/JSON
+reports that are byte-identical to a serial single-process run.
+
+    python3 tools/run_sharded.py --runner build/campaign_runner \
+        --scenario fig9-eaves-ber --shards 3 --seed 1 \
+        --outdir shards --csv merged.csv --json merged.json --verify
+
+--verify additionally runs the serial campaign in-process (1 thread,
+--canonical) and byte-compares its reports against the merged ones,
+exiting non-zero on any difference.
+
+--update-bench BENCH_campaign.json appends a "sharded" row (wall time,
+trials/sec, merge_verified) and a "sharded_speedup" ratio to an existing
+perf snapshot written by `campaign_runner --bench-json`.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import time
+
+
+def run_checked(cmd, what):
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        sys.exit(f"run_sharded: {what} failed (exit {proc.returncode}): "
+                 f"{' '.join(map(str, cmd))}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--runner", default="build/campaign_runner",
+                    help="path to the campaign_runner binary")
+    ap.add_argument("--scenario", default="fig9-eaves-ber")
+    ap.add_argument("--shards", type=int, default=3)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--trials", type=int, default=0,
+                    help="trials per sweep point (0 = preset default)")
+    ap.add_argument("--threads", type=int, default=1,
+                    help="worker threads per shard process")
+    ap.add_argument("--outdir", default="shard-out",
+                    help="directory for the per-shard chunk streams")
+    ap.add_argument("--csv", default="", help="merged CSV report path")
+    ap.add_argument("--json", default="", help="merged JSON report path")
+    ap.add_argument("--verify", action="store_true",
+                    help="byte-compare merged reports against a serial run")
+    ap.add_argument("--update-bench", default="", metavar="SNAPSHOT",
+                    help="add a 'sharded' row to this BENCH_campaign.json")
+    args = ap.parse_args()
+
+    if args.shards < 1:
+        sys.exit("run_sharded: --shards must be >= 1")
+    runner = pathlib.Path(args.runner)
+    if not runner.exists():
+        sys.exit(f"run_sharded: runner not found: {runner}")
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    common = [f"--scenario={args.scenario}", f"--seed={args.seed}",
+              f"--trials={args.trials}", f"--threads={args.threads}"]
+
+    # --- fan out: one process per shard, all concurrent -------------------
+    streams = [outdir / f"shard-{i}.jsonl" for i in range(args.shards)]
+    t0 = time.monotonic()
+    procs = []
+    for i, stream in enumerate(streams):
+        cmd = [str(runner), *common, f"--shards={args.shards}",
+               f"--shard={i}", f"--emit-chunks={stream}"]
+        procs.append((cmd, subprocess.Popen(cmd)))
+    failed = [cmd for cmd, p in procs if p.wait() != 0]
+    if failed:
+        sys.exit("run_sharded: shard process(es) failed:\n  " +
+                 "\n  ".join(" ".join(c) for c in failed))
+
+    # --- merge ------------------------------------------------------------
+    merge_cmd = [str(runner), "--merge", *map(str, streams)]
+    csv_path = args.csv or str(outdir / "merged.csv")
+    json_path = args.json or str(outdir / "merged.json")
+    merge_cmd += [f"--csv={csv_path}", f"--json={json_path}"]
+    run_checked(merge_cmd, "merge")
+    wall = time.monotonic() - t0
+    print(f"run_sharded: {args.shards} shard(s) + merge in {wall:.2f}s")
+
+    # --- optional serial byte-comparison ----------------------------------
+    if args.verify:
+        serial_csv = outdir / "serial.csv"
+        serial_json = outdir / "serial.json"
+        run_checked([str(runner), *common[:3], "--threads=1", "--canonical",
+                     f"--csv={serial_csv}", f"--json={serial_json}"],
+                    "serial verification run")
+        for merged, serial in ((csv_path, serial_csv),
+                               (json_path, serial_json)):
+            if pathlib.Path(merged).read_bytes() != serial.read_bytes():
+                sys.exit(f"run_sharded: VERIFY FAILED: {merged} differs "
+                         f"from the serial run's {serial}")
+        print("run_sharded: verify OK — merged reports byte-identical to "
+              "the serial run")
+
+    # --- optional bench-snapshot row --------------------------------------
+    if args.update_bench:
+        snap_path = pathlib.Path(args.update_bench)
+        snap = json.loads(snap_path.read_text())
+        # The sharded row only means something next to serial/parallel rows
+        # of the SAME workload: refuse a snapshot from another scenario,
+        # seed, or trial count rather than writing inflated ratios.
+        merged = json.loads(pathlib.Path(json_path).read_text())
+        for key, got in (("scenario", merged["scenario"]),
+                         ("seed", merged["seed"]),
+                         ("total_trials", merged["total_trials"])):
+            want = snap.get(key)
+            if want != got:
+                sys.exit(f"run_sharded: --update-bench refused: snapshot "
+                         f"{key}={want!r} but this sharded run has "
+                         f"{key}={got!r}; rerun campaign_runner "
+                         f"--bench-json with matching options first")
+        total_trials = snap.get("total_trials", 0)
+        snap["sharded"] = {
+            "shards": args.shards,
+            "threads_per_shard": args.threads,
+            "wall_seconds": round(wall, 6),
+            "trials_per_second": round(total_trials / wall, 3) if wall else 0.0,
+            "merge_verified": bool(args.verify),
+        }
+        serial_wall = snap.get("serial", {}).get("wall_seconds", 0.0)
+        snap["sharded_speedup"] = (
+            round(serial_wall / wall, 3) if wall and serial_wall else 0.0)
+        snap_path.write_text(json.dumps(snap, indent=2) + "\n")
+        print(f"run_sharded: added sharded row to {snap_path}")
+
+
+if __name__ == "__main__":
+    main()
