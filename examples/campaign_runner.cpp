@@ -38,6 +38,32 @@ void list_presets(std::FILE* out) {
   }
 }
 
+/// `--list --json`: the preset list as machine-readable JSON, so tools
+/// (run_sharded.py, CI matrix generators) stop scraping the human table.
+void list_presets_json(std::FILE* out) {
+  std::string doc = "[\n";
+  const auto& presets = campaign::scenario_presets();
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    const auto& s = presets[i];
+    doc += "  {\"name\": \"" + campaign::json_escape(s.name) +
+           "\", \"paper_ref\": \"" + campaign::json_escape(s.paper_ref) +
+           "\", \"description\": \"" + campaign::json_escape(s.description) +
+           "\", \"kind\": \"" +
+           std::string(campaign::experiment_kind_name(s.kind)) +
+           "\", \"axis\": \"" +
+           std::string(campaign::axis_name(s.axis)) + "\"";
+    char shape[96];
+    std::snprintf(shape, sizeof shape,
+                  ", \"points\": %zu, \"trials\": %zu, "
+                  "\"units_per_trial\": %zu}",
+                  s.point_count(), s.default_trials, s.units_per_trial);
+    doc += shape;
+    doc += i + 1 < presets.size() ? ",\n" : "\n";
+  }
+  doc += "]\n";
+  std::fputs(doc.c_str(), out);
+}
+
 bool aggregates_identical(const campaign::CampaignResult& a,
                           const campaign::CampaignResult& b) {
   if (a.points.size() != b.points.size()) return false;
@@ -57,26 +83,36 @@ bool aggregates_identical(const campaign::CampaignResult& a,
 
 int usage(const char* argv0, bool is_error) {
   std::printf(
-      "usage: %s [--list] [--scenario=NAME] [--seed=N] [--trials=N]\n"
-      "          [--threads=N] [--chunk=N] [--no-reuse] [--canonical]\n"
+      "usage: %s [--list [--json]] [--scenario=NAME] [--seed=N]\n"
+      "          [--trials=N] [--threads=N] [--chunk=N] [--no-reuse]\n"
+      "          [--no-snapshot] [--snapshot-dir=DIR] [--canonical]\n"
       "          [--csv=PATH] [--json=PATH] [--bench-json=PATH]\n"
       "       %s --shards=K --shard=I --emit-chunks=PATH [run options]\n"
       "       %s --merge A.jsonl B.jsonl ... [--csv=PATH] [--json=PATH]\n"
       "  Every value flag also accepts the space-separated form\n"
       "  (--shards 3). --threads=0 uses all hardware threads (default).\n"
+      "  --list --json emits the preset list as machine-readable JSON.\n"
       "  --no-reuse rebuilds the deployment for every trial instead of\n"
       "  reset-and-reseeding the worker's pooled one (identical\n"
       "  aggregates, slower; the escape hatch for A/B timing).\n"
+      "  Warm-state snapshots are on by default: each trial restores the\n"
+      "  post-warm-up deployment state from an in-memory snapshot instead\n"
+      "  of re-simulating the warm-up. --snapshot-dir=DIR persists the\n"
+      "  snapshots as <key>.hsnap files shared across processes (the\n"
+      "  directory must exist); --no-snapshot disables the cache.\n"
+      "  Aggregates and reports are byte-identical either way.\n"
       "  --canonical zeroes the runtime fields (wall time, threads) in\n"
       "  reports so they diff cleanly against a --merge report.\n"
       "  --shards/--shard/--emit-chunks run one deterministic shard of\n"
       "  the campaign and write its chunk stream (JSONL); shards never\n"
       "  communicate, and --merge folds their streams into aggregates\n"
       "  byte-identical to the serial run (tools/run_sharded.py drives\n"
-      "  the whole flow).\n"
-      "  --bench-json re-runs at 1 thread with and without reuse, checks\n"
-      "  all aggregates are bit-identical, and writes a trials/sec perf\n"
-      "  snapshot; it refuses a parallel leg of fewer than 2 threads.\n",
+      "  the whole flow). Shard runs print `shard i/K: chunks c/C`\n"
+      "  progress lines to stderr.\n"
+      "  --bench-json re-runs at 1 thread without reuse, with reset-based\n"
+      "  reuse, and with warm-snapshot restores, checks all aggregates\n"
+      "  are bit-identical, and writes a trials/sec perf snapshot; it\n"
+      "  refuses a parallel leg of fewer than 2 threads.\n",
       argv0, argv0, argv0);
   return is_error ? 1 : 0;
 }
@@ -119,6 +155,7 @@ int main(int argc, char** argv) {
   std::string csv_path, json_path, bench_json_path, emit_chunks_path;
   std::size_t shard_count = 0, shard_index = 0;
   bool have_shard_index = false, merge_mode = false, canonical = false;
+  bool list_mode = false, list_json = false;
   std::vector<std::string> merge_files;
   // First run-shaping flag seen, for the merge-mode conflict diagnostic
   // (merging replays recorded streams; a --seed there would be ignored).
@@ -128,15 +165,20 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     const char* value = nullptr;
     if (std::strcmp(arg, "--list") == 0) {
-      list_presets(stdout);
-      return 0;
+      list_mode = true;
     } else if (std::strcmp(arg, "--merge") == 0) {
       merge_mode = true;
     } else if (std::strcmp(arg, "--no-reuse") == 0) {
       options.reuse_deployments = false;
       run_flag = "--no-reuse";
+    } else if (std::strcmp(arg, "--no-snapshot") == 0) {
+      options.snapshots = false;
+      run_flag = "--no-snapshot";
     } else if (std::strcmp(arg, "--canonical") == 0) {
       canonical = true;
+    } else if ((value = flag_value(arg, "--snapshot-dir", argc, argv, &i))) {
+      options.snapshot_dir = value;
+      run_flag = "--snapshot-dir";
     } else if ((value = flag_value(arg, "--scenario", argc, argv, &i))) {
       scenario_name = value;
       run_flag = "--scenario";
@@ -163,6 +205,10 @@ int main(int argc, char** argv) {
       csv_path = value;
     } else if ((value = flag_value(arg, "--json", argc, argv, &i))) {
       json_path = value;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      // Bare --json (no value) selects the machine-readable preset list;
+      // --json=PATH / --json PATH stays the report destination above.
+      list_json = true;
     } else if ((value = flag_value(arg, "--bench-json", argc, argv, &i))) {
       bench_json_path = value;
     } else if (arg[0] != '-' && merge_mode) {
@@ -170,6 +216,25 @@ int main(int argc, char** argv) {
     } else {
       return usage(argv[0], std::strcmp(arg, "--help") != 0);
     }
+  }
+
+  if (list_mode) {
+    if (list_json) {
+      list_presets_json(stdout);
+    } else {
+      list_presets(stdout);
+    }
+    return 0;
+  }
+  if (list_json) {
+    std::fprintf(stderr, "bare --json selects the JSON preset list and "
+                         "needs --list (use --json=PATH for a report)\n");
+    return 1;
+  }
+  if (!options.snapshots && !options.snapshot_dir.empty()) {
+    std::fprintf(stderr,
+                 "--no-snapshot and --snapshot-dir contradict each other\n");
+    return 1;
   }
 
   // ---- merge mode: fold shard chunk streams into canonical reports ----
@@ -296,6 +361,7 @@ int main(int argc, char** argv) {
 
   // ---- shard mode: run this shard's chunks, write the stream ----
   if (shard_count > 0) {
+    options.progress = true;  // run_sharded.py multiplexes these lines
     const auto exec = campaign::run_campaign_shard(*scenario, options,
                                                    shard_count, shard_index);
     if (!campaign::write_file(
@@ -345,18 +411,29 @@ int main(int argc, char** argv) {
                    result.options.threads);
       return 1;
     }
+    // The trajectory's legs, all 1 thread: fresh construction per trial,
+    // reset-based deployment reuse (snapshots off), and warm-snapshot
+    // restores. The main `result` above is the parallel leg (snapshots
+    // on by default).
     campaign::CampaignOptions serial_options = options;
     serial_options.threads = 1;
     serial_options.reuse_deployments = true;
+    serial_options.snapshots = false;
     const auto serial = campaign::run_campaign(*scenario, serial_options);
 
     campaign::CampaignOptions no_reuse_options = serial_options;
     no_reuse_options.reuse_deployments = false;
     const auto no_reuse = campaign::run_campaign(*scenario, no_reuse_options);
 
+    campaign::CampaignOptions warm_options = serial_options;
+    warm_options.snapshots = true;
+    warm_options.snapshot_dir = options.snapshot_dir;
+    const auto warm = campaign::run_campaign(*scenario, warm_options);
+
     // Determinism self-checks: the work-stealing pool must not change
-    // aggregates (1 vs N threads), and neither may deployment reuse
-    // (reset-and-reseeded deployments vs freshly constructed ones).
+    // aggregates (1 vs N threads), neither may deployment reuse
+    // (reset-and-reseeded deployments vs freshly constructed ones), and
+    // neither may warm-snapshot restores vs cold warm-up replays.
     if (!aggregates_identical(serial, result)) {
       std::fprintf(stderr,
                    "FATAL: 1-thread and %u-thread aggregates differ\n",
@@ -369,19 +446,40 @@ int main(int argc, char** argv) {
                    "differ\n");
       return 1;
     }
+    if (!aggregates_identical(warm, serial)) {
+      std::fprintf(stderr,
+                   "FATAL: warm-restored and cold-warm-up aggregates "
+                   "differ\n");
+      return 1;
+    }
+    if (warm.snapshots_restored == 0 &&
+        campaign::experiment_uses_deployments(scenario->kind)) {
+      // Pure-DSP kinds (spectrum/wideband/multipath) legitimately never
+      // build a deployment, so zero restores is only suspicious when the
+      // kind does.
+      std::fprintf(stderr,
+                   "FATAL: the warm leg never restored a snapshot — the "
+                   "recorded 'warm' row would just be a second reuse "
+                   "measurement\n");
+      return 1;
+    }
     std::printf("\n  determinism: %u-thread aggregates bit-identical to "
                 "1-thread (%zu chunks stolen)\n",
                 result.options.threads, result.chunks_stolen);
     std::printf("  determinism: deployment reuse bit-identical to fresh "
                 "construction\n");
+    std::printf("  determinism: warm-snapshot restores bit-identical to "
+                "cold warm-ups (%zu restored, %zu saved)\n",
+                warm.snapshots_restored, warm.snapshots_saved);
     std::printf("  no-reuse %.1f trials/s, reuse %.1f trials/s "
-                "(%zu built + %zu reused), parallel %.1f trials/s\n",
+                "(%zu built + %zu reused), warm %.1f trials/s, "
+                "parallel %.1f trials/s\n",
                 no_reuse.trials_per_second(), serial.trials_per_second(),
                 serial.deployments_built, serial.deployments_reused,
-                result.trials_per_second());
+                warm.trials_per_second(), result.trials_per_second());
     if (!campaign::write_file(
             bench_json_path,
-            campaign::perf_snapshot_json(no_reuse, serial, result,
+            campaign::perf_snapshot_json(no_reuse, serial, warm, result,
                                          hardware_threads))) {
       return 1;
     }

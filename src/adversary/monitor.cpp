@@ -1,5 +1,7 @@
 #include "adversary/monitor.hpp"
 
+#include "snapshot/state_io.hpp"
+
 namespace hs::adversary {
 
 MonitorNode::MonitorNode(const MonitorConfig& config, channel::Medium& medium)
@@ -24,6 +26,36 @@ void MonitorNode::reset(const MonitorConfig& config,
   capture_.clear();
   capture_start_ = 0;
   register_with_medium(medium);
+}
+
+void MonitorNode::save_state(snapshot::StateWriter& w) const {
+  w.begin("monitor");
+  w.str("name", config_.name);
+  w.u64("antenna", antenna_);
+  receiver_.save_state(w);
+  w.u64("frames", frames_.size());
+  for (const phy::ReceivedFrame& f : frames_) phy::save_received_frame(w, f);
+  w.samples("capture", capture_);
+  w.u64("capture_start", capture_start_);
+  w.end("monitor");
+}
+
+void MonitorNode::load_state(snapshot::StateReader& r) {
+  r.begin("monitor");
+  if (r.str("name") != config_.name) {
+    throw snapshot::SnapshotError("snapshot: monitor identity mismatch");
+  }
+  antenna_ = r.u64("antenna");
+  receiver_.load_state(r);
+  const std::uint64_t frames = r.u64("frames");
+  frames_.clear();
+  frames_.reserve(frames);
+  for (std::uint64_t i = 0; i < frames; ++i) {
+    frames_.push_back(phy::load_received_frame(r));
+  }
+  capture_ = r.samples("capture");
+  capture_start_ = r.u64("capture_start");
+  r.end("monitor");
 }
 
 void MonitorNode::produce(const sim::StepContext&, channel::Medium&) {

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "campaign/report.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace hs::campaign {
 
@@ -344,18 +345,13 @@ ChunkStream parse_chunk_stream(std::string_view text,
 }
 
 ChunkStream load_chunk_stream(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) {
-    throw ChunkStreamError("chunk-stream: cannot open " + path);
-  }
   std::string text;
-  char buf[1 << 16];
-  std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
-  const bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_error) {
-    throw ChunkStreamError("chunk-stream: error reading " + path);
+  switch (snapshot::read_whole_file(path, text)) {
+    case snapshot::FileReadStatus::kOpenFailed:
+      throw ChunkStreamError("chunk-stream: cannot open " + path);
+    case snapshot::FileReadStatus::kReadError:
+      throw ChunkStreamError("chunk-stream: error reading " + path);
+    case snapshot::FileReadStatus::kOk: break;
   }
   return parse_chunk_stream(text, path);
 }

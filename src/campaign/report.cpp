@@ -214,18 +214,21 @@ void canonicalize(CampaignResult& result) {
   result.deployments_built = 0;
   result.deployments_reused = 0;
   result.chunks_stolen = 0;
+  result.snapshots_restored = 0;
+  result.snapshots_saved = 0;
 }
 
 std::string perf_snapshot_json(const CampaignResult& serial_no_reuse,
                                const CampaignResult& serial_reuse,
-                               const CampaignResult& parallel_reuse,
+                               const CampaignResult& warm,
+                               const CampaignResult& parallel_warm,
                                unsigned hardware_threads) {
   const auto ratio = [](const CampaignResult& a, const CampaignResult& b) {
     return a.wall_seconds > 0.0 && b.wall_seconds > 0.0
                ? a.wall_seconds / b.wall_seconds
                : 0.0;
   };
-  char buf[1280];
+  char buf[1792];
   std::snprintf(
       buf, sizeof buf,
       "{\n"
@@ -239,9 +242,14 @@ std::string perf_snapshot_json(const CampaignResult& serial_no_reuse,
       "  \"serial\": {\"threads\": 1, \"wall_seconds\": %.6f, "
       "\"trials_per_second\": %.3f, \"deployments_built\": %zu, "
       "\"deployments_reused\": %zu},\n"
+      "  \"warm\": {\"threads\": 1, \"wall_seconds\": %.6f, "
+      "\"trials_per_second\": %.3f, \"snapshots_restored\": %zu, "
+      "\"snapshots_saved\": %zu},\n"
       "  \"parallel\": {\"threads\": %u, \"wall_seconds\": %.6f, "
-      "\"trials_per_second\": %.3f, \"chunks_stolen\": %zu},\n"
+      "\"trials_per_second\": %.3f, \"chunks_stolen\": %zu, "
+      "\"snapshots_restored\": %zu},\n"
       "  \"reuse_speedup\": %.3f,\n"
+      "  \"warm_speedup\": %.3f,\n"
       "  \"thread_speedup\": %.3f,\n"
       "  \"speedup\": %.3f\n"
       "}\n",
@@ -250,12 +258,15 @@ std::string perf_snapshot_json(const CampaignResult& serial_no_reuse,
       serial_no_reuse.wall_seconds,
       serial_no_reuse.trials_per_second(), serial_reuse.wall_seconds,
       serial_reuse.trials_per_second(), serial_reuse.deployments_built,
-      serial_reuse.deployments_reused, parallel_reuse.options.threads,
-      parallel_reuse.wall_seconds, parallel_reuse.trials_per_second(),
-      parallel_reuse.chunks_stolen,
+      serial_reuse.deployments_reused, warm.wall_seconds,
+      warm.trials_per_second(), warm.snapshots_restored,
+      warm.snapshots_saved, parallel_warm.options.threads,
+      parallel_warm.wall_seconds, parallel_warm.trials_per_second(),
+      parallel_warm.chunks_stolen, parallel_warm.snapshots_restored,
       ratio(serial_no_reuse, serial_reuse),
-      ratio(serial_reuse, parallel_reuse),
-      ratio(serial_no_reuse, parallel_reuse));
+      ratio(serial_reuse, warm),
+      ratio(warm, parallel_warm),
+      ratio(serial_no_reuse, parallel_warm));
   return std::string(buf);
 }
 

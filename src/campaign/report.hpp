@@ -38,17 +38,19 @@ bool write_file(const std::string& path, const std::string& content);
 /// to the serial reference before diffing reports.
 void canonicalize(CampaignResult& result);
 
-/// Perf snapshot comparing three runs of the same campaign — 1 thread
-/// without deployment reuse, 1 thread with reuse, N threads with reuse —
+/// Perf snapshot comparing four runs of the same campaign — 1 thread
+/// without deployment reuse, 1 thread with reset-based reuse (snapshots
+/// off), 1 thread with warm-snapshot restores, N threads with snapshots —
 /// as JSON ("BENCH_campaign.json" trajectory format). `reuse_speedup` is
-/// the batched-deployment-reuse win; `thread_speedup` the worker-pool
-/// win on top of it. `hardware_threads` records what
-/// std::thread::hardware_concurrency() reported, so a snapshot taken on
-/// a small machine is self-describing (a 1-hardware-thread box cannot
-/// show thread_speedup > 1).
+/// the batched-deployment-reuse win, `warm_speedup` the warm-restore win
+/// on top of it, `thread_speedup` the worker-pool win on top of both.
+/// `hardware_threads` records what std::thread::hardware_concurrency()
+/// reported, so a snapshot taken on a small machine is self-describing
+/// (a 1-hardware-thread box cannot show thread_speedup > 1).
 std::string perf_snapshot_json(const CampaignResult& serial_no_reuse,
                                const CampaignResult& serial_reuse,
-                               const CampaignResult& parallel_reuse,
+                               const CampaignResult& warm,
+                               const CampaignResult& parallel_warm,
                                unsigned hardware_threads);
 
 }  // namespace hs::campaign

@@ -28,6 +28,7 @@
 #include "shield/multitap_antidote.hpp"
 #include "shield/trial_context.hpp"
 #include "shield/wideband.hpp"
+#include "snapshot/snapshot_cache.hpp"
 
 namespace hs::campaign {
 
@@ -432,6 +433,15 @@ std::uint64_t trial_seed(std::uint64_t campaign_seed,
                           sub);
 }
 
+std::uint64_t campaign_warmup_seed(std::uint64_t campaign_seed,
+                                   std::string_view scenario_name) {
+  const std::uint64_t seed = dsp::derive_seed(
+      dsp::derive_seed(campaign_seed, scenario_name), "warm-up");
+  // 0 means "legacy single-phase" to DeploymentOptions; dodge the one
+  // colliding value rather than silently changing seeding semantics.
+  return seed != 0 ? seed : 1;
+}
+
 std::vector<TrialSample> run_trial(const Scenario& scenario,
                                    std::size_t point_index,
                                    double axis_value, std::uint64_t seed,
@@ -492,16 +502,34 @@ ShardExecution run_campaign_shard(const Scenario& scenario,
         .chunks.push_back(c);
   }
 
+  // Two-phase seeding is unconditional for campaign trials: warm-up
+  // streams draw from the shared campaign warm-up seed, trial streams
+  // from the per-trial seed. Snapshots only change HOW the post-warm-up
+  // state is reached (restore vs re-simulation), never what it is — so
+  // --no-snapshot runs stay byte-identical to snapshot runs.
+  const std::uint64_t warm_seed =
+      campaign_warmup_seed(options.seed, scenario.name);
+  // One cache per shard execution, shared by every worker thread (it is
+  // internally locked; parsed snapshot documents are shared read-only).
+  // With a directory it is also shared by concurrent shard processes.
+  std::optional<snapshot::SnapshotCache> cache;
+  if (options.snapshots) cache.emplace(options.snapshot_dir);
+  snapshot::SnapshotCache* cache_ptr = cache ? &*cache : nullptr;
+
   std::atomic<std::size_t> deployments_built{0};
   std::atomic<std::size_t> deployments_reused{0};
   std::atomic<std::size_t> chunks_stolen{0};
+  std::atomic<std::size_t> snapshots_restored{0};
+  std::atomic<std::size_t> snapshots_saved{0};
+  std::atomic<std::size_t> chunks_done{0};
+  const std::size_t progress_every =
+      std::max<std::size_t>(std::size_t{1}, chunks.size() / 10);
   const auto worker = [&](unsigned self) {
     // One trial-context pool per worker: deployments and experiment nodes
     // are reset-and-reseeded between this worker's trials instead of
     // reconstructed (bit-identical either way; see trial_context.hpp).
     shield::TrialContext pool;
-    shield::TrialContext* context =
-        options.reuse_deployments ? &pool : nullptr;
+    pool.set_warm_policy(warm_seed, cache_ptr);
     for (;;) {
       std::optional<std::size_t> c = queues[self].pop(false);
       for (unsigned v = 1; !c && v < thread_count; ++v) {
@@ -514,16 +542,39 @@ ShardExecution run_campaign_shard(const Scenario& scenario,
       for (std::size_t t = chunk.trial_begin; t < chunk.trial_end; ++t) {
         const std::uint64_t seed = trial_seed(options.seed, scenario.name,
                                               chunk.point_index, t);
-        const auto samples =
-            run_trial(scenario, chunk.point_index, axis_value, seed, context);
+        std::vector<TrialSample> samples;
+        if (options.reuse_deployments) {
+          samples =
+              run_trial(scenario, chunk.point_index, axis_value, seed, &pool);
+        } else {
+          // The A/B baseline: a throwaway context per trial keeps every
+          // node freshly constructed (only the warm policy carries over,
+          // so aggregates still match the pooled legs bit-for-bit).
+          shield::TrialContext fresh;
+          fresh.set_warm_policy(warm_seed, cache_ptr);
+          samples = run_trial(scenario, chunk.point_index, axis_value, seed,
+                              &fresh);
+          deployments_built.fetch_add(fresh.deployments_built());
+          snapshots_restored.fetch_add(fresh.snapshots_restored());
+          snapshots_saved.fetch_add(fresh.snapshots_saved());
+        }
         for (const auto& sample : samples) {
           exec.chunk_metrics[*c][static_cast<std::size_t>(sample.metric)].add(
               sample.value);
         }
       }
+      if (options.progress) {
+        const std::size_t done = chunks_done.fetch_add(1) + 1;
+        if (done % progress_every == 0 || done == chunks.size()) {
+          std::fprintf(stderr, "shard %zu/%zu: chunks %zu/%zu\n",
+                       shard_index, shard_count, done, chunks.size());
+        }
+      }
     }
     deployments_built.fetch_add(pool.deployments_built());
     deployments_reused.fetch_add(pool.deployments_reused());
+    snapshots_restored.fetch_add(pool.snapshots_restored());
+    snapshots_saved.fetch_add(pool.snapshots_saved());
   };
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -542,6 +593,8 @@ ShardExecution run_campaign_shard(const Scenario& scenario,
   exec.deployments_built = deployments_built.load();
   exec.deployments_reused = deployments_reused.load();
   exec.chunks_stolen = chunks_stolen.load();
+  exec.snapshots_restored = snapshots_restored.load();
+  exec.snapshots_saved = snapshots_saved.load();
   return exec;
 }
 
@@ -557,6 +610,8 @@ CampaignResult run_campaign(const Scenario& scenario,
   result.deployments_built = exec.deployments_built;
   result.deployments_reused = exec.deployments_reused;
   result.chunks_stolen = exec.chunks_stolen;
+  result.snapshots_restored = exec.snapshots_restored;
+  result.snapshots_saved = exec.snapshots_saved;
 
   result.points.resize(exec.plan.point_count);
   for (std::size_t p = 0; p < exec.plan.point_count; ++p) {

@@ -25,6 +25,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -53,6 +54,21 @@ struct CampaignOptions {
   /// than reconstructing it per trial. Aggregates are bit-identical
   /// either way; false is the `--no-reuse` escape hatch.
   bool reuse_deployments = true;
+  /// Restore post-warm-up deployment state from warm snapshots instead of
+  /// re-simulating the warm-up on every trial (see src/snapshot/). The
+  /// per-trial RNG streams always run two-phase (warm-up streams keyed by
+  /// campaign_warmup_seed, trial streams by the trial seed), so
+  /// aggregates are bit-identical with snapshots on or off — `false` is
+  /// the `--no-snapshot` escape hatch that only disables the cache.
+  bool snapshots = true;
+  /// Directory for persisted `<key>.hsnap` snapshot files (must exist).
+  /// Empty keeps the cache in-memory; set it to share one warm-up across
+  /// the K processes of a sharded campaign.
+  std::string snapshot_dir;
+  /// Print periodic `shard i/K: chunks c/C` progress lines to stderr
+  /// (enabled by the CLI's shard mode; tools/run_sharded.py multiplexes
+  /// the streams of all shard processes).
+  bool progress = false;
 };
 
 /// Aggregates for one sweep point.
@@ -79,6 +95,11 @@ struct CampaignResult {
   /// Chunks an idle worker took from another worker's deque. Schedule
   /// observability only — steals never affect aggregates.
   std::size_t chunks_stolen = 0;
+  /// Warm-snapshot effectiveness: trials whose warm-up was skipped by a
+  /// snapshot restore, and cold warm-ups published to the cache. Both 0
+  /// with snapshots off.
+  std::size_t snapshots_restored = 0;
+  std::size_t snapshots_saved = 0;
 
   double trials_per_second() const {
     return wall_seconds > 0.0
@@ -91,6 +112,14 @@ struct CampaignResult {
 std::uint64_t trial_seed(std::uint64_t campaign_seed,
                          std::string_view scenario_name,
                          std::size_t point_index, std::size_t trial_index);
+
+/// The warm-up seed every trial, worker and shard of a campaign shares
+/// (two-phase seeding; see DeploymentOptions::warmup_seed). A pure
+/// function of (campaign seed, scenario name) so shard processes agree
+/// on it — and on the snapshot keys derived from it — without
+/// communicating.
+std::uint64_t campaign_warmup_seed(std::uint64_t campaign_seed,
+                                   std::string_view scenario_name);
 
 /// One metric sample produced by a trial.
 struct TrialSample {
@@ -119,6 +148,8 @@ struct ShardExecution {
   std::size_t deployments_built = 0;
   std::size_t deployments_reused = 0;
   std::size_t chunks_stolen = 0;
+  std::size_t snapshots_restored = 0;
+  std::size_t snapshots_saved = 0;
 };
 
 /// Runs shard `shard_index` of `shard_count` on the work-stealing pool.

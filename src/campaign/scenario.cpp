@@ -429,6 +429,32 @@ const std::vector<Metric>& metrics_for(ExperimentKind kind) {
   return eavesdrop;
 }
 
+bool experiment_uses_deployments(ExperimentKind kind) {
+  switch (kind) {
+    case ExperimentKind::kSpectrum:
+    case ExperimentKind::kMultipathAntidote:
+    case ExperimentKind::kWideband:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::string_view experiment_kind_name(ExperimentKind kind) {
+  switch (kind) {
+    case ExperimentKind::kEavesdrop: return "eavesdrop";
+    case ExperimentKind::kActiveAttack: return "active_attack";
+    case ExperimentKind::kCoexistence: return "coexistence";
+    case ExperimentKind::kPthresh: return "pthresh";
+    case ExperimentKind::kImdTiming: return "imd_timing";
+    case ExperimentKind::kCancellation: return "cancellation";
+    case ExperimentKind::kSpectrum: return "spectrum";
+    case ExperimentKind::kMultipathAntidote: return "multipath_antidote";
+    case ExperimentKind::kWideband: return "wideband";
+  }
+  return "eavesdrop";
+}
+
 std::string_view axis_name(SweepAxis axis) {
   switch (axis) {
     case SweepAxis::kNone: return "point";

@@ -24,6 +24,11 @@
 #include "dsp/rng.hpp"
 #include "dsp/types.hpp"
 
+namespace hs::snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace hs::snapshot
+
 namespace hs::channel {
 
 using AntennaId = std::size_t;
@@ -74,6 +79,23 @@ class Medium {
 
   /// Redraws link phases and shadowing (a new experiment trial).
   void rerandomize();
+
+  /// Two-phase seeding, trial half: reseeds the medium's stream from the
+  /// per-trial seed and redraws every link realization from it. Override
+  /// gains (H_self, H_jam->rec) and pair losses are calibration, not
+  /// randomness — they survive. Construction/warm-up randomness stays on
+  /// the warm-up stream, which is what makes post-warmup snapshots
+  /// shareable across trials (see shield::Deployment::begin_trial).
+  void reseed_trial(std::uint64_t trial_seed);
+
+  /// Warm-state snapshot round trip: antennas, per-pair channel state,
+  /// RNG stream position, and the link-budget configuration. The lazy
+  /// per-pair gain caches are NOT serialized — gain() is a pure function
+  /// of the restored fields, so they repopulate with identical values.
+  /// Block buffers restore empty (the next mix() overwrites them; no
+  /// caller reads rx() before stepping a restored deployment).
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
   /// Current complex amplitude gain from one antenna to another.
   dsp::cplx gain(AntennaId from, AntennaId to) const;

@@ -10,6 +10,11 @@
 
 #include "dsp/types.hpp"
 
+namespace hs::snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace hs::snapshot
+
 namespace hs::dsp {
 
 /// Designs a linear-phase lowpass FIR with the given normalized cutoff
@@ -53,6 +58,12 @@ class FirFilter {
   /// Clears filter history.
   void reset();
 
+  /// Warm-state snapshot round trip of the streaming state (history ring
+  /// + cursor). The load target must have been built with the same tap
+  /// count; taps themselves are configuration, not state.
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
   std::size_t tap_count() const { return taps_.size(); }
 
   /// Group delay in samples for the linear-phase designs above.
@@ -81,6 +92,10 @@ class ComplexFirFilter {
   void process(SoaView in, SoaSamples& out);
 
   void reset();
+
+  /// Warm-state snapshot round trip (see FirFilter::save_state).
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
   std::size_t tap_count() const { return taps_.size(); }
 

@@ -31,6 +31,26 @@ Samples Decimator::process(SampleView in) {
   return out;
 }
 
+void Decimator::process(SoaView in, SoaSamples& out) {
+  filtered_.clear();
+  filter_.process(in, filtered_);
+  const double* fre = filtered_.re();
+  const double* fim = filtered_.im();
+  // First kept index under the carried-over phase, then every factor_-th.
+  const std::size_t first = phase_ == 0 ? 0 : factor_ - phase_;
+  const std::size_t n = in.size();
+  const std::size_t kept = n > first ? (n - first + factor_ - 1) / factor_ : 0;
+  std::size_t base = out.size();
+  out.resize(base + kept);
+  double* ore = out.re();
+  double* oim = out.im();
+  for (std::size_t i = first; i < n; i += factor_, ++base) {
+    ore[base] = fre[i];
+    oim[base] = fim[i];
+  }
+  phase_ = (phase_ + n) % factor_;
+}
+
 void Decimator::reset() {
   filter_.reset();
   phase_ = 0;
@@ -53,6 +73,19 @@ Samples Interpolator::process(SampleView in) {
   Samples out;
   process(in, out);
   return out;
+}
+
+void Interpolator::process(SoaView in, SoaSamples& out) {
+  const double gain = static_cast<double>(factor_);
+  stuffed_.resize(in.size() * factor_);
+  stuffed_.fill_zero();
+  double* sre = stuffed_.re();
+  double* sim = stuffed_.im();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    sre[i * factor_] = in.re[i] * gain;
+    sim[i * factor_] = in.im[i] * gain;
+  }
+  filter_.process(stuffed_.view(), out);
 }
 
 void Interpolator::reset() { filter_.reset(); }

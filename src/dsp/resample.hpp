@@ -20,6 +20,13 @@ class Decimator {
   void process(SampleView in, Samples& out);
   Samples process(SampleView in);
 
+  /// Split-complex block path, appending to `out`: the whole block runs
+  /// through the FIR's SoA convolution, then every Mth output is kept,
+  /// continuing the streaming decimation phase. Bit-identical to
+  /// per-sample process() (the FIR block path is; keeping every Mth
+  /// commutes). `in` must not view `out`.
+  void process(SoaView in, SoaSamples& out);
+
   std::size_t factor() const { return factor_; }
   void reset();
 
@@ -27,6 +34,7 @@ class Decimator {
   std::size_t factor_;
   FirFilter filter_;
   std::size_t phase_ = 0;
+  SoaSamples filtered_;  // block-path scratch
 };
 
 /// Streaming interpolator: zero-stuff by L then image-reject lowpass
@@ -38,12 +46,20 @@ class Interpolator {
   void process(SampleView in, Samples& out);
   Samples process(SampleView in);
 
+  /// Split-complex block path, appending factor()*in.size() samples to
+  /// `out`: zero-stuffs into a scratch plane pair, then runs the FIR's
+  /// SoA convolution — the same sample sequence the scalar loop feeds,
+  /// so output and filter state are bit-identical. `in` must not view
+  /// `out`.
+  void process(SoaView in, SoaSamples& out);
+
   std::size_t factor() const { return factor_; }
   void reset();
 
  private:
   std::size_t factor_;
   FirFilter filter_;
+  SoaSamples stuffed_;  // block-path scratch
 };
 
 }  // namespace hs::dsp

@@ -6,6 +6,7 @@
 // changing how many draws one component makes does not perturb the others.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 
@@ -59,6 +60,16 @@ class Rng {
 
   /// True with probability p.
   bool bernoulli(double p);
+
+  /// Raw xoshiro256++ state, four 64-bit words — the warm-state snapshot
+  /// subsystem serializes stream *positions* with these, so a restored
+  /// stream continues exactly where the saved one stopped.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   std::uint64_t s_[4];

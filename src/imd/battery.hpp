@@ -5,6 +5,11 @@
 
 #include <cstddef>
 
+namespace hs::snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace hs::snapshot
+
 namespace hs::imd {
 
 class Battery {
@@ -28,6 +33,10 @@ class Battery {
 
   /// Total energy spent on transmissions (the attack's damage metric).
   double tx_energy_spent_mj() const { return tx_spent_mj_; }
+
+  /// Warm-state snapshot round trip (all five energy fields).
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
  private:
   double capacity_mj_;

@@ -4,6 +4,7 @@
 
 #include "channel/geometry.hpp"
 #include "dsp/units.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace hs::imd {
 
@@ -72,6 +73,71 @@ void ImdDevice::reset(const ImdProfile& profile, channel::Medium& medium,
   last_tx_start_ = 0;
   register_with_medium(medium);
   fill_patient_data();
+}
+
+void ImdDevice::reseed(std::uint64_t trial_seed) {
+  rng_ = dsp::Rng(trial_seed, "imd-device");
+}
+
+void ImdDevice::save_state(snapshot::StateWriter& w) const {
+  w.begin("imd-device");
+  w.str("model", profile_.model_name);
+  w.u64("antenna", antenna_);
+  snapshot::write_rng(w, "rng", rng_);
+  receiver_.save_state(w);
+  w.f64("mod_phase", modulator_.phase());
+  tx_.save_state(w);
+  w.u64("therapy.pacing_rate_bpm", therapy_.pacing_rate_bpm);
+  w.u64("therapy.shock_energy", therapy_.shock_energy_half_joules);
+  w.u64("therapy.mode", static_cast<std::uint64_t>(therapy_.mode));
+  w.u64("therapy.tachy_threshold_bpm", therapy_.tachy_threshold_bpm);
+  battery_.save_state(w);
+  w.u64("stats.frames_detected", stats_.frames_detected);
+  w.u64("stats.frames_accepted", stats_.frames_accepted);
+  w.u64("stats.crc_failures", stats_.crc_failures);
+  w.u64("stats.wrong_device", stats_.wrong_device);
+  w.u64("stats.replies_sent", stats_.replies_sent);
+  w.u64("stats.therapy_changes", stats_.therapy_changes);
+  w.bytes("patient_data", patient_data_);
+  w.u64("data_cursor", data_cursor_);
+  w.bytes("last_tx_bits", last_tx_bits_);
+  w.u64("last_tx_start", last_tx_start_);
+  w.end("imd-device");
+}
+
+void ImdDevice::load_state(snapshot::StateReader& r) {
+  r.begin("imd-device");
+  if (r.str("model") != profile_.model_name) {
+    throw snapshot::SnapshotError("snapshot: IMD profile mismatch");
+  }
+  antenna_ = r.u64("antenna");
+  snapshot::read_rng(r, "rng", rng_);
+  receiver_.load_state(r);
+  modulator_.set_phase(r.f64("mod_phase"));
+  tx_.load_state(r);
+  therapy_.pacing_rate_bpm =
+      static_cast<std::uint8_t>(r.u64("therapy.pacing_rate_bpm"));
+  therapy_.shock_energy_half_joules =
+      static_cast<std::uint8_t>(r.u64("therapy.shock_energy"));
+  const std::uint64_t mode = r.u64("therapy.mode");
+  if (mode > static_cast<std::uint64_t>(PacingMode::kOff)) {
+    throw snapshot::SnapshotError("snapshot: unknown pacing mode");
+  }
+  therapy_.mode = static_cast<PacingMode>(mode);
+  therapy_.tachy_threshold_bpm =
+      static_cast<std::uint8_t>(r.u64("therapy.tachy_threshold_bpm"));
+  battery_.load_state(r);
+  stats_.frames_detected = r.u64("stats.frames_detected");
+  stats_.frames_accepted = r.u64("stats.frames_accepted");
+  stats_.crc_failures = r.u64("stats.crc_failures");
+  stats_.wrong_device = r.u64("stats.wrong_device");
+  stats_.replies_sent = r.u64("stats.replies_sent");
+  stats_.therapy_changes = r.u64("stats.therapy_changes");
+  patient_data_ = r.bytes("patient_data");
+  data_cursor_ = r.u64("data_cursor");
+  last_tx_bits_ = r.bytes("last_tx_bits");
+  last_tx_start_ = r.u64("last_tx_start");
+  r.end("imd-device");
 }
 
 void ImdDevice::produce(const sim::StepContext& ctx, channel::Medium& medium) {

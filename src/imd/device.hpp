@@ -27,6 +27,11 @@
 #include "sim/transmit_scheduler.hpp"
 #include "sim/trace.hpp"
 
+namespace hs::snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace hs::snapshot
+
 namespace hs::imd {
 
 struct ImdStats {
@@ -72,6 +77,19 @@ class ImdDevice : public sim::RadioNode {
   /// eavesdropper BER measurements) and its scheduled start sample.
   const phy::BitVec& last_tx_bits() const { return last_tx_bits_; }
   std::size_t last_tx_start_sample() const { return last_tx_start_; }
+
+  /// Two-phase seeding, trial half: reply-jitter draws (the device's only
+  /// per-trial randomness) move to the per-trial stream. Patient data,
+  /// battery and protocol state stay at their post-warm-up values.
+  void reseed(std::uint64_t trial_seed);
+
+  /// Warm-state snapshot round trip of everything the device accumulates:
+  /// receiver stream, scheduled replies, RNG position, modulator phase,
+  /// therapy, battery, stats, patient-data cursor and ground-truth bits.
+  /// The load target must have been built with the same profile; `log`
+  /// and the medium registration come from the restoring deployment.
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
  private:
   void handle_frame(const phy::ReceivedFrame& rx, const sim::StepContext& ctx);

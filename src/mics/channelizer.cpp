@@ -16,11 +16,19 @@ Channelizer::Channelizer(std::size_t filter_taps) {
 
 void Channelizer::process(dsp::SampleView wideband,
                           std::array<dsp::Samples, kChannelCount>& out) {
-  dsp::Samples shifted;
+  // Split-complex block path end to end: one deinterleave of the wideband
+  // block, then the mixer oscillator and the anti-alias FIR run over
+  // contiguous planes (bit-identical to their per-sample paths).
+  wide_soa_.assign(wideband);
   for (std::size_t c = 0; c < kChannelCount; ++c) {
-    shifted.clear();
-    chains_[c].mixer.process(wideband, shifted);
-    chains_[c].decimator.process(shifted, out[c]);
+    shifted_.clear();
+    chains_[c].mixer.process(wide_soa_.view(), shifted_);
+    decimated_.clear();
+    chains_[c].decimator.process(shifted_.view(), decimated_);
+    out[c].reserve(out[c].size() + decimated_.size());
+    for (std::size_t i = 0; i < decimated_.size(); ++i) {
+      out[c].push_back(decimated_[i]);
+    }
   }
 }
 
@@ -51,10 +59,15 @@ void ChannelSynthesizer::process(std::size_t channel,
     throw std::invalid_argument(
         "ChannelSynthesizer: wideband must be 10x baseband length");
   }
-  dsp::Samples up;
-  chains_[channel].interpolator.process(baseband, up);
-  for (std::size_t i = 0; i < up.size(); ++i) {
-    wideband[i] += chains_[channel].mixer.process(up[i]);
+  base_soa_.assign(baseband);
+  up_.clear();
+  chains_[channel].interpolator.process(base_soa_.view(), up_);
+  mixed_.clear();
+  chains_[channel].mixer.process(up_.view(), mixed_);
+  const double* re = mixed_.re();
+  const double* im = mixed_.im();
+  for (std::size_t i = 0; i < mixed_.size(); ++i) {
+    wideband[i] += dsp::cplx{re[i], im[i]};
   }
 }
 

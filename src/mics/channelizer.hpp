@@ -29,7 +29,10 @@ class Channelizer {
   explicit Channelizer(std::size_t filter_taps = 101);
 
   /// Consumes wideband samples (at 3 MHz); appends each channel's new
-  /// baseband samples (at 300 kHz) to `out[channel]`.
+  /// baseband samples (at 300 kHz) to `out[channel]`. Internally runs
+  /// the mixer + anti-alias FIR on the split-complex (SoA) block path —
+  /// bit-identical to the per-sample scalar chain (asserted by
+  /// test_dsp_soa).
   void process(dsp::SampleView wideband,
                std::array<dsp::Samples, kChannelCount>& out);
 
@@ -41,6 +44,7 @@ class Channelizer {
     dsp::Decimator decimator;
   };
   std::vector<ChannelChain> chains_;
+  dsp::SoaSamples wide_soa_, shifted_, decimated_;  // block-path scratch
 };
 
 /// Combines per-channel baseband streams into one wideband stream.
@@ -50,7 +54,8 @@ class ChannelSynthesizer {
 
   /// Upsamples `baseband` (300 kHz) into the wideband stream (3 MHz) at
   /// the given channel's offset, adding into `wideband` (which must be
-  /// sized to 10x the input length).
+  /// sized to 10x the input length). SoA block path; bit-identical to
+  /// the scalar chain.
   void process(std::size_t channel, dsp::SampleView baseband,
                dsp::MutSampleView wideband);
 
@@ -62,6 +67,7 @@ class ChannelSynthesizer {
     dsp::Mixer mixer;
   };
   std::vector<ChannelChain> chains_;
+  dsp::SoaSamples base_soa_, up_, mixed_;  // block-path scratch
 };
 
 }  // namespace hs::mics

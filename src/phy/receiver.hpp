@@ -21,6 +21,11 @@
 #include "phy/frame.hpp"
 #include "phy/fsk.hpp"
 
+namespace hs::snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace hs::snapshot
+
 namespace hs::phy {
 
 struct ReceivedFrame {
@@ -29,6 +34,12 @@ struct ReceivedFrame {
   double rssi = 0.0;             ///< mean power over the frame's samples
   BitVec raw_bits;               ///< everything demodulated for this frame
 };
+
+/// Warm-state snapshot round trip for a completed frame (decode result,
+/// frame contents, timing, RSSI, raw bits) — used by the receiver's
+/// output queue and by nodes that retain frames across blocks.
+void save_received_frame(snapshot::StateWriter& w, const ReceivedFrame& f);
+ReceivedFrame load_received_frame(snapshot::StateReader& r);
 
 struct ReceiverOptions {
   /// Normalized correlation threshold for declaring preamble detection.
@@ -80,6 +91,16 @@ class FskReceiver {
 
   /// Drops any partial lock and clears buffered samples.
   void reset();
+
+  /// Warm-state snapshot round trip of the full streaming state: scan
+  /// buffer planes, lock/partial-frame state, adaptive noise floor and
+  /// the output queue. The correlation memo is deliberately NOT
+  /// serialized — it is a pure function of the (restored) sample stream,
+  /// so a restored receiver recomputes identical values and makes
+  /// identical decisions. The load target must share this receiver's
+  /// FskParams (modem geometry is configuration, not state).
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
   const FskParams& params() const { return params_; }
 

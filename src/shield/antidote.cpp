@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "snapshot/state_io.hpp"
+
 namespace hs::shield {
 
 using dsp::cplx;
@@ -43,6 +45,36 @@ void AntidoteController::reset() {
   h_jam_to_rec_.reset();
   h_self_.reset();
   begin_epoch();
+}
+
+void AntidoteController::reseed(std::uint64_t trial_seed) {
+  rng_ = dsp::Rng(trial_seed, "antidote");
+}
+
+void AntidoteController::save_state(snapshot::StateWriter& w) const {
+  w.begin("antidote");
+  w.f64("sigma", sigma_);
+  snapshot::write_rng(w, "rng", rng_);
+  w.boolean("have_jam", h_jam_to_rec_.has_value());
+  w.cx("h_jam", h_jam_to_rec_.value_or(dsp::cplx{}));
+  w.boolean("have_self", h_self_.has_value());
+  w.cx("h_self", h_self_.value_or(dsp::cplx{}));
+  w.cx("hardware_error", hardware_error_);
+  w.end("antidote");
+}
+
+void AntidoteController::load_state(snapshot::StateReader& r) {
+  r.begin("antidote");
+  sigma_ = r.f64("sigma");
+  snapshot::read_rng(r, "rng", rng_);
+  const bool have_jam = r.boolean("have_jam");
+  const dsp::cplx h_jam = r.cx("h_jam");
+  h_jam_to_rec_ = have_jam ? std::optional<dsp::cplx>(h_jam) : std::nullopt;
+  const bool have_self = r.boolean("have_self");
+  const dsp::cplx h_self = r.cx("h_self");
+  h_self_ = have_self ? std::optional<dsp::cplx>(h_self) : std::nullopt;
+  hardware_error_ = r.cx("hardware_error");
+  r.end("antidote");
 }
 
 dsp::Samples make_probe_waveform(std::size_t length, std::uint64_t seed) {

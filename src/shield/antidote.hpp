@@ -21,6 +21,11 @@
 #include "dsp/rng.hpp"
 #include "dsp/types.hpp"
 
+namespace hs::snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace hs::snapshot
+
 namespace hs::shield {
 
 class AntidoteController {
@@ -55,6 +60,17 @@ class AntidoteController {
 
   /// Resets to the never-probed state.
   void reset();
+
+  /// Two-phase seeding, trial half: future epoch draws come from the
+  /// per-trial stream, while the channel estimates and the current
+  /// hardware-error draw — the post-calibration operating point — are
+  /// kept.
+  void reseed(std::uint64_t trial_seed);
+
+  /// Warm-state snapshot round trip: channel estimates, the live
+  /// hardware-error draw and the RNG stream position.
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
  private:
   double sigma_;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "adversary/monitor.hpp"
 #include "channel/medium.hpp"
@@ -18,10 +19,23 @@
 #include "shield/shield.hpp"
 #include "sim/timeline.hpp"
 
+namespace hs::snapshot {
+class StateDoc;
+}  // namespace hs::snapshot
+
 namespace hs::shield {
 
 struct DeploymentOptions {
   std::uint64_t seed = 1;
+  /// Two-phase seeding for warm-state snapshots. When nonzero,
+  /// construction and warm-up draw every stream from THIS seed, and the
+  /// per-trial streams are reseeded from `seed` afterwards (see
+  /// Deployment::begin_trial) — so the post-warmup state is a pure
+  /// function of the configuration + warmup_seed and one snapshot of it
+  /// serves every trial, shard and process. Zero keeps the single-phase
+  /// legacy behavior: everything draws from `seed`, no post-warmup
+  /// reseed (existing tests and examples are bit-for-bit unchanged).
+  std::uint64_t warmup_seed = 0;
   imd::ImdProfile imd_profile = imd::virtuoso_profile();
   bool shield_present = true;
   /// Place a zero-loss observer next to the IMD (the "USRP observer
@@ -41,6 +55,14 @@ struct DeploymentOptions {
 class Deployment {
  public:
   explicit Deployment(const DeploymentOptions& options);
+
+  /// Builds the node set for `options` WITHOUT simulating the warm-up,
+  /// then restores the warm snapshot — the fast path for a worker's (or
+  /// shard's) first trial when another process already published the
+  /// snapshot. Equivalent to Deployment(options) followed by
+  /// restore_warm(warm, options), minus the redundant warm-up replay.
+  Deployment(const snapshot::StateDoc& warm,
+             const DeploymentOptions& options);
 
   /// True when this deployment's node set can be re-seeded into the state
   /// a fresh `Deployment(options)` would have: the set of allocated nodes
@@ -74,6 +96,32 @@ class Deployment {
   /// Runs the simulation for the given duration.
   void run_for(double seconds) { timeline_->run_for(seconds); }
 
+  // ---- Warm-state snapshots ---------------------------------------------
+  /// Serializes the deployment's complete state — medium, timeline/log,
+  /// IMD, shield, observer — as a versioned snapshot document keyed by
+  /// deployment_warm_key(options()). Taken right after construction or
+  /// reset (i.e. post-warm-up, post-begin_trial; begin_trial fully
+  /// overwrites everything it touches, so the capture is trial-portable).
+  std::string save_warm() const;
+
+  /// Restores the deployment into exactly the state a fresh
+  /// `Deployment(options)` (warm-up replay included) would have, without
+  /// simulating a single block: loads the snapshot, re-registers the
+  /// restored nodes, then runs begin_trial(options.seed). The snapshot's
+  /// embedded key must equal deployment_warm_key(options) and the node
+  /// set must satisfy can_reset_to(options) — both enforced with hard
+  /// SnapshotErrors, and a failed restore never leaves a half-written
+  /// deployment in the pool (the caller discards it).
+  void restore_warm(const snapshot::StateDoc& doc,
+                    const DeploymentOptions& options);
+
+  /// Two-phase seeding, trial half: reseeds the medium (and redraws its
+  /// link realizations), the IMD and the shield from per-trial streams
+  /// derived from `trial_seed`. No-op in legacy single-phase mode
+  /// (warmup_seed == 0). Ctor, reset() and restore_warm() all end with
+  /// this, so cold and warm-restored trials run identical code.
+  void begin_trial(std::uint64_t trial_seed);
+
  private:
   void wire_shield_directivity();
 
@@ -84,5 +132,13 @@ class Deployment {
   std::unique_ptr<ShieldNode> shield_;
   std::unique_ptr<adversary::MonitorNode> observer_;
 };
+
+/// Content digest (sha256 hex) of everything that determines a
+/// deployment's post-warm-up state: the full configuration (profile,
+/// shield config, link budget, node set, warm-up duration) plus the
+/// warm-up seed — and, in legacy single-phase mode, the trial seed
+/// itself. The SnapshotCache key: equal keys ⇒ bit-identical post-warmup
+/// state, different configuration ⇒ different key.
+std::string deployment_warm_key(const DeploymentOptions& options);
 
 }  // namespace hs::shield

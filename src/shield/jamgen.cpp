@@ -6,6 +6,7 @@
 
 #include "dsp/fft.hpp"
 #include "dsp/spectrum.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace hs::shield {
 
@@ -75,6 +76,57 @@ void JammingSignalGenerator::reset(const phy::FskParams& fsk,
   rebuild_weights();
   buffer_.clear();
   buffer_pos_ = 0;
+}
+
+void JammingSignalGenerator::reseed(std::uint64_t trial_seed) {
+  rng_ = dsp::Rng(trial_seed, "jamming");
+  buffer_.clear();
+  buffer_pos_ = 0;
+}
+
+void JammingSignalGenerator::save_state(snapshot::StateWriter& w) const {
+  w.begin("jamgen");
+  w.f64("fs", fsk_.fs);
+  w.u64("sps", fsk_.sps);
+  w.f64("f0", fsk_.f0);
+  w.f64("f1", fsk_.f1);
+  w.u64("fft_size", fft_size_);
+  w.u64("profile", static_cast<std::uint64_t>(profile_));
+  snapshot::write_rng(w, "rng", rng_);
+  w.f64("power_mw", power_mw_);
+  w.f64_vec("shaped_weights", shaped_weights_);
+  w.soa("buffer", buffer_.view());
+  w.u64("buffer_pos", buffer_pos_);
+  w.end("jamgen");
+}
+
+void JammingSignalGenerator::load_state(snapshot::StateReader& r) {
+  r.begin("jamgen");
+  if (r.f64("fs") != fsk_.fs || r.u64("sps") != fsk_.sps ||
+      r.f64("f0") != fsk_.f0 || r.f64("f1") != fsk_.f1 ||
+      r.u64("fft_size") != fft_size_) {
+    throw snapshot::SnapshotError(
+        "snapshot: jamming generator geometry mismatch");
+  }
+  const std::uint64_t profile = r.u64("profile");
+  if (profile > static_cast<std::uint64_t>(JamProfile::kConstant)) {
+    throw snapshot::SnapshotError("snapshot: unknown jam profile");
+  }
+  profile_ = static_cast<JamProfile>(profile);
+  snapshot::read_rng(r, "rng", rng_);
+  power_mw_ = r.f64("power_mw");
+  shaped_weights_ = r.f64_vec("shaped_weights");
+  if (shaped_weights_.size() != fft_size_) {
+    throw snapshot::SnapshotError("snapshot: jam profile length mismatch");
+  }
+  r.soa("buffer", buffer_);
+  buffer_pos_ = r.u64("buffer_pos");
+  if (buffer_pos_ > buffer_.size()) {
+    throw snapshot::SnapshotError("snapshot: jam buffer cursor invalid");
+  }
+  // weights_ and scale_ are pure functions of the restored fields.
+  rebuild_weights();
+  r.end("jamgen");
 }
 
 void JammingSignalGenerator::rebuild_weights() {

@@ -17,6 +17,11 @@
 #include "dsp/types.hpp"
 #include "phy/fsk.hpp"
 
+namespace hs::snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace hs::snapshot
+
 namespace hs::shield {
 
 enum class JamProfile {
@@ -59,6 +64,21 @@ class JammingSignalGenerator {
   /// interleaving), feeding Medium::set_tx(SoaView) and the antidote
   /// without a layout conversion.
   void next(std::size_t n, dsp::SoaSamples& out);
+
+  /// Two-phase seeding, trial half: restarts the jamming stream on a
+  /// fresh per-trial RNG stream and discards any buffered samples, so
+  /// every trial's one-time pad is independent. Profile, weights and
+  /// power — the calibration — are untouched.
+  void reseed(std::uint64_t trial_seed);
+
+  /// Warm-state snapshot round trip: RNG position, buffered stream slice
+  /// and cursor, power, profile mode, and the cached empirical FSK
+  /// profile (shaped_weights_) — carrying the profile in the snapshot is
+  /// what lets a fresh shard process skip the expensive spectral
+  /// estimation entirely. The load target must share fft_size and FSK
+  /// parameters (enforced; they shape the stream).
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
   /// The per-bin weights currently in use (FFT order, DC first).
   const std::vector<double>& bin_weights() const { return weights_; }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/fft.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace hs::shield {
 
@@ -114,6 +115,40 @@ void MultitapAntidote::antidote_for(dsp::SoaView jamming,
   out.clear();
   out.reserve(jamming.size());
   filter_->process(jamming, out);
+}
+
+
+void MultitapAntidote::save_state(snapshot::StateWriter& w) const {
+  w.begin("multitap");
+  w.u64("fir_taps", fir_taps_);
+  w.u64("eq_taps", eq_taps_);
+  w.boolean("have_jam", have_jam_);
+  w.boolean("have_self", have_self_);
+  w.samples("h_jam", h_jam_);
+  w.samples("h_self", h_self_);
+  w.samples("eq", eq_);
+  w.boolean("have_filter", filter_.has_value());
+  if (filter_) filter_->save_state(w);
+  w.end("multitap");
+}
+
+void MultitapAntidote::load_state(snapshot::StateReader& r) {
+  r.begin("multitap");
+  if (r.u64("fir_taps") != fir_taps_ || r.u64("eq_taps") != eq_taps_) {
+    throw snapshot::SnapshotError("snapshot: multitap geometry mismatch");
+  }
+  have_jam_ = r.boolean("have_jam");
+  have_self_ = r.boolean("have_self");
+  h_jam_ = r.samples("h_jam");
+  h_self_ = r.samples("h_self");
+  eq_ = r.samples("eq");
+  if (r.boolean("have_filter")) {
+    filter_.emplace(eq_);
+    filter_->load_state(r);
+  } else {
+    filter_.reset();
+  }
+  r.end("multitap");
 }
 
 double MultitapAntidote::predicted_cancellation_db() const {

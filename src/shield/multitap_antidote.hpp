@@ -19,6 +19,11 @@
 #include "dsp/fir.hpp"
 #include "dsp/types.hpp"
 
+namespace hs::snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace hs::snapshot
+
 namespace hs::shield {
 
 /// Least-squares FIR channel estimate: finds taps h[0..taps) minimizing
@@ -60,6 +65,12 @@ class MultitapAntidote {
   /// equalizer against the current channel estimates, evaluated on white
   /// jamming — a design-quality diagnostic.
   double predicted_cancellation_db() const;
+
+  /// Warm-state snapshot round trip: both estimated channel FIRs, the
+  /// designed equalizer taps, and the streaming filter's history — a
+  /// restored equalizer stays phase-continuous with the saved stream.
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
  private:
   void design_equalizer();

@@ -43,6 +43,11 @@
 #include "sim/trace.hpp"
 #include "sim/transmit_scheduler.hpp"
 
+namespace hs::snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace hs::snapshot
+
 namespace hs::shield {
 
 class ShieldNode : public sim::RadioNode {
@@ -104,6 +109,22 @@ class ShieldNode : public sim::RadioNode {
   /// the packets" mode of the b_thresh calibration (section 10.1(c)).
   void set_frame_capture(bool on) { capture_frames_ = on; }
   std::vector<phy::ReceivedFrame> take_monitor_frames();
+
+  /// Two-phase seeding, trial half: the shield's own draws (self-cancel
+  /// errors), the jamming one-time pad and future antidote epochs move to
+  /// per-trial streams. Channel estimates, noise floor, probe schedule —
+  /// the post-calibration operating point — are untouched.
+  void reseed(std::uint64_t trial_seed);
+
+  /// Warm-state snapshot round trip of the complete node: RNG positions,
+  /// jamming generator (incl. its cached spectral profile), antidote
+  /// estimates, S_id matcher, monitor receiver stream, modulator phase,
+  /// transmit scheduler, probe waveform/schedule, jamming and windowing
+  /// state, power estimates, retained frames and stats. Antenna ids are
+  /// restored; the medium's registration is restored by Medium::
+  /// load_state, so this must not re-register.
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
  private:
   enum class ProbePhase { kNone, kJamAntenna, kSelfLoop };

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "snapshot/state_io.hpp"
+
 namespace hs::shield {
 
 SidMatcher::SidMatcher(phy::BitVec sid, std::size_t bthresh,
@@ -66,6 +68,32 @@ void SidMatcher::reset() {
   fired_ = false;
   seen_ = 0;
   head_ = 0;
+}
+
+void SidMatcher::save_state(snapshot::StateWriter& w) const {
+  w.begin("sid");
+  w.u64("sid_bits", sid_.size());
+  w.bytes("window", window_);
+  w.u64("head", head_);
+  w.u64("seen", seen_);
+  w.boolean("fired", fired_);
+  w.end("sid");
+}
+
+void SidMatcher::load_state(snapshot::StateReader& r) {
+  r.begin("sid");
+  const std::uint64_t bits = r.u64("sid_bits");
+  if (bits != sid_.size()) {
+    throw snapshot::SnapshotError("snapshot: S_id length mismatch");
+  }
+  window_ = r.bytes("window");
+  head_ = r.u64("head");
+  seen_ = r.u64("seen");
+  fired_ = r.boolean("fired");
+  if (window_.size() != sid_.size() || head_ >= window_.size()) {
+    throw snapshot::SnapshotError("snapshot: S_id window shape invalid");
+  }
+  r.end("sid");
 }
 
 }  // namespace hs::shield

@@ -12,6 +12,11 @@
 
 #include "phy/bits.hpp"
 
+namespace hs::snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace hs::snapshot
+
 namespace hs::shield {
 
 class SidMatcher {
@@ -43,6 +48,11 @@ class SidMatcher {
 
   std::size_t sid_bits() const { return sid_.size(); }
   std::size_t bthresh() const { return bthresh_; }
+
+  /// Warm-state snapshot round trip of the matcher's ring window. S_id
+  /// itself is configuration; the load target must match its length.
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
  private:
   phy::BitVec sid_;

@@ -1,8 +1,18 @@
 #include "shield/trial_context.hpp"
 
+#include <cstdio>
+
+#include "snapshot/snapshot_cache.hpp"
+
 namespace hs::shield {
 
-Deployment& TrialContext::deployment(const DeploymentOptions& options) {
+void TrialContext::set_warm_policy(std::uint64_t warmup_seed,
+                                   snapshot::SnapshotCache* cache) {
+  warmup_seed_ = warmup_seed;
+  cache_ = warmup_seed != 0 ? cache : nullptr;
+}
+
+Deployment& TrialContext::cold_deployment(const DeploymentOptions& options) {
   if (deployment_ != nullptr && deployment_->can_reset_to(options)) {
     deployment_->reset(options);
     ++deployments_reused_;
@@ -11,6 +21,44 @@ Deployment& TrialContext::deployment(const DeploymentOptions& options) {
     ++deployments_built_;
   }
   return *deployment_;
+}
+
+Deployment& TrialContext::deployment(const DeploymentOptions& options) {
+  DeploymentOptions opts = options;
+  if (warmup_seed_ != 0) opts.warmup_seed = warmup_seed_;
+  if (cache_ == nullptr) return cold_deployment(opts);
+
+  const std::string key = deployment_warm_key(opts);
+  std::shared_ptr<const snapshot::StateDoc> doc = cache_->find(key);
+  if (doc == nullptr) {
+    // First trial for this configuration anywhere: warm up cold, then
+    // publish so every later trial — this worker's, its siblings', other
+    // shard processes' — restores instead of re-simulating the warm-up.
+    Deployment& d = cold_deployment(opts);
+    cache_->store(key, d.save_warm());
+    ++snapshots_saved_;
+    return d;
+  }
+  try {
+    if (deployment_ != nullptr && deployment_->can_reset_to(opts)) {
+      deployment_->restore_warm(*doc, opts);
+      ++deployments_reused_;
+    } else {
+      deployment_ = std::make_unique<Deployment>(*doc, opts);
+      ++deployments_built_;
+    }
+    ++snapshots_restored_;
+    return *deployment_;
+  } catch (const snapshot::SnapshotError& e) {
+    // A restore must never half-apply: discard the touched deployment and
+    // fall back to a cold warm-up (bit-identical, just slower).
+    deployment_.reset();
+    std::fprintf(stderr,
+                 "snapshot: restore failed (%s); falling back to cold "
+                 "warm-up\n",
+                 e.what());
+    return cold_deployment(opts);
+  }
 }
 
 adversary::MonitorNode& TrialContext::monitor(

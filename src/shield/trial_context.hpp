@@ -27,6 +27,10 @@
 #include "shield/deployment.hpp"
 #include "shield/jamgen.hpp"
 
+namespace hs::snapshot {
+class SnapshotCache;
+}  // namespace hs::snapshot
+
 namespace hs::shield {
 
 class TrialContext {
@@ -35,10 +39,24 @@ class TrialContext {
   TrialContext(const TrialContext&) = delete;
   TrialContext& operator=(const TrialContext&) = delete;
 
+  /// Two-phase seeding + warm-state snapshots. A nonzero `warmup_seed` is
+  /// stamped into every DeploymentOptions this context builds from (see
+  /// DeploymentOptions::warmup_seed), making the post-warm-up state
+  /// trial-independent. With a cache, deployment() then restores that
+  /// state from a warm snapshot instead of re-simulating the warm-up —
+  /// publishing a snapshot on the first cold miss. The cache may be
+  /// shared across worker threads (it is internally locked) and, through
+  /// its directory, across shard processes. Both restored and cold
+  /// deployments are bit-identical by construction; the campaign's
+  /// snapshot-identity tests enforce it.
+  void set_warm_policy(std::uint64_t warmup_seed,
+                       snapshot::SnapshotCache* cache);
+
   /// Returns a deployment in exactly the state `Deployment(options)`
   /// would produce. Reuses (reset + reseeds) the pooled instance when its
-  /// node set matches; otherwise rebuilds it. Any auxiliary nodes from
-  /// the previous trial are forgotten by the reset — re-acquire them
+  /// node set matches; otherwise rebuilds it. Under a warm policy the
+  /// reset is replaced by a snapshot restore on cache hits. Any auxiliary
+  /// nodes from the previous trial are forgotten — re-acquire them
   /// after this call, in the same order a fresh experiment would
   /// construct them.
   Deployment& deployment(const DeploymentOptions& options);
@@ -66,16 +84,27 @@ class TrialContext {
   /// Pool effectiveness counters (reported in the campaign perf snapshot).
   std::size_t deployments_built() const { return deployments_built_; }
   std::size_t deployments_reused() const { return deployments_reused_; }
+  /// Trials whose warm-up was skipped by a snapshot restore, and cold
+  /// warm-ups whose state this context published to the cache.
+  std::size_t snapshots_restored() const { return snapshots_restored_; }
+  std::size_t snapshots_saved() const { return snapshots_saved_; }
 
  private:
+  /// Cold path: reset-or-rebuild with a full warm-up replay.
+  Deployment& cold_deployment(const DeploymentOptions& options);
+
   std::unique_ptr<Deployment> deployment_;
   std::unique_ptr<adversary::MonitorNode> monitor_;
   std::unique_ptr<imd::ProgrammerNode> programmer_;
   std::unique_ptr<adversary::ActiveAdversaryNode> adversary_;
   std::unique_ptr<adversary::CrossTrafficNode> cross_traffic_;
   std::unique_ptr<JammingSignalGenerator> jamgen_;
+  std::uint64_t warmup_seed_ = 0;
+  snapshot::SnapshotCache* cache_ = nullptr;
   std::size_t deployments_built_ = 0;
   std::size_t deployments_reused_ = 0;
+  std::size_t snapshots_restored_ = 0;
+  std::size_t snapshots_saved_ = 0;
 };
 
 }  // namespace hs::shield

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "snapshot/state_io.hpp"
+
 namespace hs::sim {
 
 Timeline::Timeline(channel::Medium& medium) : medium_(medium) {}
@@ -25,6 +27,21 @@ void Timeline::run_for(double seconds) {
   const auto blocks = static_cast<std::size_t>(std::ceil(
       seconds * medium_.fs() / static_cast<double>(medium_.block_size())));
   for (std::size_t i = 0; i < blocks; ++i) step();
+}
+
+void Timeline::save_state(snapshot::StateWriter& w) const {
+  w.begin("timeline");
+  w.u64("block_index", block_index_);
+  log_.save_state(w);
+  w.end("timeline");
+}
+
+void Timeline::load_state(snapshot::StateReader& r) {
+  r.begin("timeline");
+  nodes_.clear();
+  block_index_ = r.u64("block_index");
+  log_.load_state(r);
+  r.end("timeline");
 }
 
 }  // namespace hs::sim

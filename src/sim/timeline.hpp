@@ -8,6 +8,11 @@
 #include "sim/node.hpp"
 #include "sim/trace.hpp"
 
+namespace hs::snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace hs::snapshot
+
 namespace hs::sim {
 
 class Timeline {
@@ -55,6 +60,13 @@ class Timeline {
   EventLog& log() { return log_; }
   const EventLog& log() const { return log_; }
   channel::Medium& medium() { return medium_; }
+
+  /// Warm-state snapshot round trip: block counter + event log. Restoring
+  /// drops all registered nodes — the deployment re-registers its (also
+  /// restored) nodes in construction order afterwards, exactly as after
+  /// reset().
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
  private:
   channel::Medium& medium_;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "snapshot/state_io.hpp"
+
 namespace hs::sim {
 
 const char* event_kind_name(EventKind kind) {
@@ -52,6 +54,39 @@ std::size_t EventLog::count(EventKind kind, std::string_view source) const {
     if (e.kind == kind && (source.empty() || e.source == source)) ++n;
   }
   return n;
+}
+
+void EventLog::save_state(snapshot::StateWriter& w) const {
+  w.begin("event-log");
+  w.u64("events", events_.size());
+  for (const Event& e : events_) {
+    w.f64("t", e.time_s);
+    w.str("source", e.source);
+    w.u64("kind", static_cast<std::uint64_t>(e.kind));
+    w.str("detail", e.detail);
+  }
+  w.end("event-log");
+}
+
+void EventLog::load_state(snapshot::StateReader& r) {
+  r.begin("event-log");
+  const std::uint64_t n = r.u64("events");
+  events_.clear();
+  events_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Event e;
+    e.time_s = r.f64("t");
+    e.source = r.str("source");
+    const std::uint64_t kind = r.u64("kind");
+    if (kind > static_cast<std::uint64_t>(EventKind::kInfo)) {
+      throw snapshot::SnapshotError("snapshot: unknown event kind " +
+                                    std::to_string(kind));
+    }
+    e.kind = static_cast<EventKind>(kind);
+    e.detail = r.str("detail");
+    events_.push_back(std::move(e));
+  }
+  r.end("event-log");
 }
 
 std::string EventLog::to_string() const {

@@ -6,6 +6,11 @@
 #include <string>
 #include <vector>
 
+namespace hs::snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace hs::snapshot
+
 namespace hs::sim {
 
 enum class EventKind {
@@ -46,6 +51,12 @@ class EventLog {
 
   /// Human-readable dump (for examples and debugging).
   std::string to_string() const;
+
+  /// Warm-state snapshot round trip: experiments read warm-up events back
+  /// out of the log (e.g. jam-end timestamps), so a restored deployment
+  /// must carry the exact event history a replayed warm-up would leave.
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
  private:
   std::vector<Event> events_;

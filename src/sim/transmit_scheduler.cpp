@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot/state_io.hpp"
+
 namespace hs::sim {
 
 void TransmitScheduler::schedule(std::size_t start, dsp::Samples waveform) {
@@ -50,5 +52,29 @@ std::size_t TransmitScheduler::busy_until() const {
 }
 
 void TransmitScheduler::cancel_all() { entries_.clear(); }
+
+void TransmitScheduler::save_state(snapshot::StateWriter& w) const {
+  w.begin("tx-sched");
+  w.u64("entries", entries_.size());
+  for (const Entry& e : entries_) {
+    w.u64("start", e.start);
+    w.samples("waveform", e.waveform);
+  }
+  w.end("tx-sched");
+}
+
+void TransmitScheduler::load_state(snapshot::StateReader& r) {
+  r.begin("tx-sched");
+  const std::uint64_t n = r.u64("entries");
+  entries_.clear();
+  entries_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Entry e;
+    e.start = r.u64("start");
+    e.waveform = r.samples("waveform");
+    entries_.push_back(std::move(e));
+  }
+  r.end("tx-sched");
+}
 
 }  // namespace hs::sim

@@ -7,6 +7,11 @@
 
 #include "dsp/types.hpp"
 
+namespace hs::snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace hs::snapshot
+
 namespace hs::sim {
 
 class TransmitScheduler {
@@ -31,6 +36,12 @@ class TransmitScheduler {
   void cancel_all();
 
   bool empty() const { return entries_.empty(); }
+
+  /// Warm-state snapshot round trip of every scheduled waveform — the
+  /// "timing state" a restored node resumes from (e.g. an IMD reply
+  /// scheduled during warm-up must still go out at its exact sample).
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
  private:
   struct Entry {

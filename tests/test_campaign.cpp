@@ -370,13 +370,18 @@ TEST(Report, CsvAndJsonWellFormed) {
   serial.threads = 1;
   CampaignOptions no_reuse = serial;
   no_reuse.reuse_deployments = false;
+  CampaignOptions warm = serial;
+  warm.snapshots = true;
   const auto snapshot = perf_snapshot_json(
-      run_campaign(s, no_reuse), run_campaign(s, serial), result, 8);
+      run_campaign(s, no_reuse), run_campaign(s, serial),
+      run_campaign(s, warm), result, 8);
   EXPECT_NE(snapshot.find("\"bench\": \"campaign_runner\""),
             std::string::npos);
   EXPECT_NE(snapshot.find("\"serial_no_reuse\""), std::string::npos);
   EXPECT_NE(snapshot.find("\"hardware_threads\": 8"), std::string::npos);
   EXPECT_NE(snapshot.find("\"reuse_speedup\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"warm\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"warm_speedup\""), std::string::npos);
   EXPECT_NE(snapshot.find("\"speedup\""), std::string::npos);
 }
 

@@ -11,6 +11,18 @@ reports that are byte-identical to a serial single-process run.
         --scenario fig9-eaves-ber --shards 3 --seed 1 \
         --outdir shards --csv merged.csv --json merged.json --verify
 
+Each shard prints periodic `shard i/K: chunks c/C` progress lines to its
+stderr; this driver multiplexes them onto one stream, prefixing each line
+with `[shard i]`.
+
+--snapshot-dir DIR makes every shard share one on-disk warm-state
+snapshot cache (see docs/REPRODUCING.md "Warm-state snapshots"): the
+first process to finish a configuration's warm-up publishes
+`<key>.hsnap`, every other process restores it instead of re-simulating.
+With --prewarm, a serial 1-trial-per-point pass populates the cache
+first, so all K shards skip every cold warm-up. Results are
+byte-identical with or without snapshots.
+
 --verify additionally runs the serial campaign in-process (1 thread,
 --canonical) and byte-compares its reports against the merged ones,
 exiting non-zero on any difference.
@@ -25,6 +37,7 @@ import json
 import pathlib
 import subprocess
 import sys
+import threading
 import time
 
 
@@ -33,6 +46,16 @@ def run_checked(cmd, what):
     if proc.returncode != 0:
         sys.exit(f"run_sharded: {what} failed (exit {proc.returncode}): "
                  f"{' '.join(map(str, cmd))}")
+
+
+def pump_stderr(index, stream):
+    """Forwards one shard's stderr line by line, tagged with its index, so
+    the interleaved progress of all K processes reads as one stream."""
+    for line in iter(stream.readline, b""):
+        sys.stderr.write(f"[shard {index}] " +
+                         line.decode("utf-8", "replace"))
+        sys.stderr.flush()
+    stream.close()
 
 
 def main():
@@ -51,6 +74,13 @@ def main():
                     help="directory for the per-shard chunk streams")
     ap.add_argument("--csv", default="", help="merged CSV report path")
     ap.add_argument("--json", default="", help="merged JSON report path")
+    ap.add_argument("--snapshot-dir", default="", metavar="DIR",
+                    help="shared warm-state snapshot cache directory for "
+                         "all shard processes (created if missing)")
+    ap.add_argument("--prewarm", action="store_true",
+                    help="populate --snapshot-dir with a serial "
+                         "1-trial-per-point pass before fanning out, so "
+                         "no shard ever runs a cold warm-up")
     ap.add_argument("--verify", action="store_true",
                     help="byte-compare merged reports against a serial run")
     ap.add_argument("--update-bench", default="", metavar="SNAPSHOT",
@@ -67,16 +97,36 @@ def main():
 
     common = [f"--scenario={args.scenario}", f"--seed={args.seed}",
               f"--trials={args.trials}", f"--threads={args.threads}"]
+    if args.snapshot_dir:
+        snapdir = pathlib.Path(args.snapshot_dir)
+        snapdir.mkdir(parents=True, exist_ok=True)
+        common.append(f"--snapshot-dir={snapdir}")
+    elif args.prewarm:
+        sys.exit("run_sharded: --prewarm needs --snapshot-dir")
+
+    # --- optional prewarm: publish every warm snapshot before fanning out -
+    if args.prewarm:
+        run_checked([str(runner), f"--scenario={args.scenario}",
+                     f"--seed={args.seed}", "--trials=1", "--threads=1",
+                     f"--snapshot-dir={snapdir}"], "prewarm pass")
 
     # --- fan out: one process per shard, all concurrent -------------------
     streams = [outdir / f"shard-{i}.jsonl" for i in range(args.shards)]
     t0 = time.monotonic()
     procs = []
+    pumps = []
     for i, stream in enumerate(streams):
         cmd = [str(runner), *common, f"--shards={args.shards}",
                f"--shard={i}", f"--emit-chunks={stream}"]
-        procs.append((cmd, subprocess.Popen(cmd)))
+        p = subprocess.Popen(cmd, stderr=subprocess.PIPE)
+        procs.append((cmd, p))
+        pump = threading.Thread(target=pump_stderr, args=(i, p.stderr),
+                                daemon=True)
+        pump.start()
+        pumps.append(pump)
     failed = [cmd for cmd, p in procs if p.wait() != 0]
+    for pump in pumps:
+        pump.join(timeout=5)
     if failed:
         sys.exit("run_sharded: shard process(es) failed:\n  " +
                  "\n  ".join(" ".join(c) for c in failed))
