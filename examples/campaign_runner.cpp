@@ -8,6 +8,13 @@
 // bit-identical across every combination by construction; the tool
 // verifies both determinism axes on every --bench-json run and refuses
 // to record a "parallel" leg that silently ran on one thread.
+//
+// Observability: --metrics-json writes the merged counter/phase-timer
+// report (serial, parallel, per-shard, or aggregated across shards by
+// --merge from the chunk-stream trailers); --trace writes a Chrome
+// trace-event timeline (chrome://tracing / Perfetto) of workers, chunks,
+// steals and snapshot events. Neither changes any aggregate or report
+// byte (see src/obs/metrics.hpp).
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
@@ -21,6 +28,9 @@
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "snapshot/state_io.hpp"
 
 using namespace hs;
 
@@ -81,14 +91,25 @@ bool aggregates_identical(const campaign::CampaignResult& a,
   return true;
 }
 
+/// `--version`: every schema this binary reads or writes, one per line,
+/// machine-greppable. Scripts (CI, run_sharded.py) use it to confirm a
+/// binary and a recorded artifact speak the same format.
+void print_versions(std::FILE* out) {
+  std::fprintf(out, "chunk-stream %d\nsnapshot %d\nmetrics %d\ntrace %d\n",
+               campaign::kChunkStreamVersion, snapshot::kSnapshotVersion,
+               obs::kMetricsVersion, obs::kTraceVersion);
+}
+
 int usage(const char* argv0, bool is_error) {
   std::printf(
       "usage: %s [--list [--json]] [--scenario=NAME] [--seed=N]\n"
       "          [--trials=N] [--threads=N] [--chunk=N] [--no-reuse]\n"
       "          [--no-snapshot] [--snapshot-dir=DIR] [--canonical]\n"
       "          [--csv=PATH] [--json=PATH] [--bench-json=PATH]\n"
+      "          [--metrics-json=PATH] [--trace=PATH] [--version]\n"
       "       %s --shards=K --shard=I --emit-chunks=PATH [run options]\n"
       "       %s --merge A.jsonl B.jsonl ... [--csv=PATH] [--json=PATH]\n"
+      "          [--metrics-json=PATH]\n"
       "  Every value flag also accepts the space-separated form\n"
       "  (--shards 3). --threads=0 uses all hardware threads (default).\n"
       "  --list --json emits the preset list as machine-readable JSON.\n"
@@ -111,8 +132,15 @@ int usage(const char* argv0, bool is_error) {
       "  progress lines to stderr.\n"
       "  --bench-json re-runs at 1 thread without reuse, with reset-based\n"
       "  reuse, and with warm-snapshot restores, checks all aggregates\n"
-      "  are bit-identical, and writes a trials/sec perf snapshot; it\n"
-      "  refuses a parallel leg of fewer than 2 threads.\n",
+      "  are bit-identical, and writes a trials/sec perf snapshot with a\n"
+      "  phase breakdown and the metrics-instrumentation overhead; it\n"
+      "  refuses a parallel leg of fewer than 2 threads.\n"
+      "  --metrics-json writes the counter + phase-timer report (schema\n"
+      "  in docs/REPRODUCING.md); in --merge mode it aggregates the K\n"
+      "  shard trailers. --trace writes a Chrome trace-event timeline\n"
+      "  (load in chrome://tracing or Perfetto). Neither changes any\n"
+      "  aggregate or report byte. --version prints the schema versions\n"
+      "  this binary speaks.\n",
       argv0, argv0, argv0);
   return is_error ? 1 : 0;
 }
@@ -153,6 +181,7 @@ int main(int argc, char** argv) {
   campaign::CampaignOptions options;
   options.threads = 0;  // hardware concurrency
   std::string csv_path, json_path, bench_json_path, emit_chunks_path;
+  std::string metrics_json_path, trace_path;
   std::size_t shard_count = 0, shard_index = 0;
   bool have_shard_index = false, merge_mode = false, canonical = false;
   bool list_mode = false, list_json = false;
@@ -166,6 +195,13 @@ int main(int argc, char** argv) {
     const char* value = nullptr;
     if (std::strcmp(arg, "--list") == 0) {
       list_mode = true;
+    } else if (std::strcmp(arg, "--version") == 0) {
+      print_versions(stdout);
+      return 0;
+    } else if ((value = flag_value(arg, "--metrics-json", argc, argv, &i))) {
+      metrics_json_path = value;
+    } else if ((value = flag_value(arg, "--trace", argc, argv, &i))) {
+      trace_path = value;
     } else if (std::strcmp(arg, "--merge") == 0) {
       merge_mode = true;
     } else if (std::strcmp(arg, "--no-reuse") == 0) {
@@ -251,6 +287,13 @@ int main(int argc, char** argv) {
                    "or --shard\n");
       return 1;
     }
+    if (!trace_path.empty()) {
+      std::fprintf(stderr,
+                   "--merge replays recorded streams — there is no live "
+                   "execution to trace; pass --trace to the shard runs "
+                   "instead\n");
+      return 1;
+    }
     if (run_flag != nullptr) {
       std::fprintf(stderr,
                    "--merge replays the streams' recorded campaign — %s "
@@ -273,7 +316,9 @@ int main(int argc, char** argv) {
                      merge_files.front().c_str());
         return 1;
       }
-      const auto result = campaign::merge_chunk_streams(*scenario, streams);
+      campaign::MergedMetrics merged_metrics;
+      const auto result = campaign::merge_chunk_streams(*scenario, streams,
+                                                        &merged_metrics);
       campaign::print_summary(stdout, result);
       std::printf("\n  merged %zu shard stream(s), %zu chunks verified\n",
                   streams.size(), streams.front().header.total_chunks);
@@ -284,6 +329,17 @@ int main(int argc, char** argv) {
       if (!json_path.empty() &&
           !campaign::write_file(json_path, campaign::to_json(result))) {
         return 1;
+      }
+      if (!metrics_json_path.empty()) {
+        // Aggregate of the K shard trailers. wall_seconds is the summed
+        // shard wall time (total compute budget, not elapsed time — the
+        // shards ran as separate processes, possibly concurrently).
+        const std::string doc = campaign::metrics_report_json(
+            result.scenario.name, result.options.seed, merged_metrics.shards,
+            merged_metrics.threads,
+            static_cast<double>(merged_metrics.wall_ns) / 1e9,
+            merged_metrics.report);
+        if (!campaign::write_file(metrics_json_path, doc)) return 1;
       }
     } catch (const campaign::ChunkStreamError& e) {
       std::fprintf(stderr, "%s\n", e.what());
@@ -359,6 +415,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Observability wiring: timers are collected exactly when a metrics
+  // report was requested; the trace recorder lives here (CLI scope) and
+  // the runner only buffers into it. In shard mode the recorder's pid is
+  // the shard index, so merged timelines from K processes stay distinct.
+  options.metrics_timers = !metrics_json_path.empty();
+  obs::TraceRecorder trace_recorder(static_cast<std::uint32_t>(shard_index));
+  if (!trace_path.empty()) options.trace = &trace_recorder;
+
   // ---- shard mode: run this shard's chunks, write the stream ----
   if (shard_count > 0) {
     options.progress = true;  // run_sharded.py multiplexes these lines
@@ -367,6 +431,18 @@ int main(int argc, char** argv) {
     if (!campaign::write_file(
             emit_chunks_path,
             campaign::serialize_chunk_stream(*scenario, options, exec))) {
+      return 1;
+    }
+    if (!metrics_json_path.empty() &&
+        !campaign::write_file(
+            metrics_json_path,
+            campaign::metrics_report_json(scenario->name, options.seed, 1,
+                                          exec.threads, exec.wall_seconds,
+                                          exec.metrics))) {
+      return 1;
+    }
+    if (!trace_path.empty() &&
+        !campaign::write_file(trace_path, trace_recorder.to_json())) {
       return 1;
     }
     std::size_t shard_trials = 0;
@@ -402,6 +478,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!metrics_json_path.empty() &&
+      !campaign::write_file(
+          metrics_json_path,
+          campaign::metrics_report_json(scenario->name, options.seed, 1,
+                                        result.options.threads,
+                                        result.wall_seconds,
+                                        result.metrics))) {
+    return 1;
+  }
+  if (!trace_path.empty() &&
+      !campaign::write_file(trace_path, trace_recorder.to_json())) {
+    return 1;
+  }
+
   if (!bench_json_path.empty()) {
     if (result.options.threads < 2) {
       std::fprintf(stderr,
@@ -414,11 +504,14 @@ int main(int argc, char** argv) {
     // The trajectory's legs, all 1 thread: fresh construction per trial,
     // reset-based deployment reuse (snapshots off), and warm-snapshot
     // restores. The main `result` above is the parallel leg (snapshots
-    // on by default).
+    // on by default). The timing legs run uninstrumented — the dedicated
+    // obs leg below measures the instrumentation cost itself.
     campaign::CampaignOptions serial_options = options;
     serial_options.threads = 1;
     serial_options.reuse_deployments = true;
     serial_options.snapshots = false;
+    serial_options.metrics_timers = false;
+    serial_options.trace = nullptr;
     const auto serial = campaign::run_campaign(*scenario, serial_options);
 
     campaign::CampaignOptions no_reuse_options = serial_options;
@@ -429,6 +522,14 @@ int main(int argc, char** argv) {
     warm_options.snapshots = true;
     warm_options.snapshot_dir = options.snapshot_dir;
     const auto warm = campaign::run_campaign(*scenario, warm_options);
+
+    // The observability leg: identical campaign to `warm` but with phase
+    // timers on, so the snapshot records what --metrics-json costs
+    // (obs_overhead; acceptance gate <= 1.02) and where the wall time
+    // goes (phase_breakdown).
+    campaign::CampaignOptions obs_options = warm_options;
+    obs_options.metrics_timers = true;
+    const auto obs_run = campaign::run_campaign(*scenario, obs_options);
 
     // Determinism self-checks: the work-stealing pool must not change
     // aggregates (1 vs N threads), neither may deployment reuse
@@ -452,6 +553,12 @@ int main(int argc, char** argv) {
                    "differ\n");
       return 1;
     }
+    if (!aggregates_identical(obs_run, warm)) {
+      std::fprintf(stderr,
+                   "FATAL: metrics-instrumented and uninstrumented "
+                   "aggregates differ\n");
+      return 1;
+    }
     if (warm.snapshots_restored == 0 &&
         campaign::experiment_uses_deployments(scenario->kind)) {
       // Pure-DSP kinds (spectrum/wideband/multipath) legitimately never
@@ -471,16 +578,19 @@ int main(int argc, char** argv) {
     std::printf("  determinism: warm-snapshot restores bit-identical to "
                 "cold warm-ups (%zu restored, %zu saved)\n",
                 warm.snapshots_restored, warm.snapshots_saved);
+    std::printf("  determinism: metrics instrumentation bit-identical to "
+                "uninstrumented run\n");
     std::printf("  no-reuse %.1f trials/s, reuse %.1f trials/s "
                 "(%zu built + %zu reused), warm %.1f trials/s, "
-                "parallel %.1f trials/s\n",
+                "parallel %.1f trials/s, instrumented %.1f trials/s\n",
                 no_reuse.trials_per_second(), serial.trials_per_second(),
                 serial.deployments_built, serial.deployments_reused,
-                warm.trials_per_second(), result.trials_per_second());
+                warm.trials_per_second(), result.trials_per_second(),
+                obs_run.trials_per_second());
     if (!campaign::write_file(
             bench_json_path,
             campaign::perf_snapshot_json(no_reuse, serial, warm, result,
-                                         hardware_threads))) {
+                                         hardware_threads, &obs_run))) {
       return 1;
     }
   }

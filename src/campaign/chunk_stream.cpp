@@ -247,6 +247,64 @@ ChunkRecord parse_chunk_record(std::string_view line,
   return rec;
 }
 
+/// The v2 metrics trailer is as strict as the records: fixed key order,
+/// every counter and phase present (enum order), nothing after the
+/// closing brace.
+ShardMetricsTrailer parse_metrics_trailer(std::string_view line,
+                                          std::string_view source,
+                                          std::size_t lineno) {
+  Scanner sc(line, source, lineno);
+  ShardMetricsTrailer t;
+  sc.expect("{");
+  sc.expect_key("trailer");
+  if (sc.string_value() != "hs-metrics") {
+    sc.fail("expected the hs-metrics trailer record");
+  }
+  sc.expect(",");
+  sc.expect_key("version");
+  const std::uint64_t version = sc.u64_value();
+  if (version != static_cast<std::uint64_t>(obs::kMetricsVersion)) {
+    sc.fail("unsupported metrics trailer version " + std::to_string(version) +
+            " (this build reads version " +
+            std::to_string(obs::kMetricsVersion) + ")");
+  }
+  t.version = static_cast<int>(version);
+  sc.expect(",");
+  sc.expect_key("threads");
+  t.threads = static_cast<unsigned>(sc.u64_value());
+  if (t.threads == 0) sc.fail("trailer threads must be >= 1");
+  sc.expect(",");
+  sc.expect_key("wall_ns");
+  t.wall_ns = sc.u64_value();
+  sc.expect(",");
+  sc.expect_key("counters");
+  sc.expect("{");
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    if (i > 0) sc.expect(",");
+    sc.expect_key(obs::counter_name(static_cast<obs::Counter>(i)));
+    t.report.counters[i] = sc.u64_value();
+  }
+  sc.expect("}");
+  sc.expect(",");
+  sc.expect_key("phases");
+  sc.expect("{");
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    if (i > 0) sc.expect(",");
+    sc.expect_key(obs::phase_name(static_cast<obs::Phase>(i)));
+    sc.expect("{");
+    sc.expect_key("calls");
+    t.report.phases[i].calls = sc.u64_value();
+    sc.expect(",");
+    sc.expect_key("ns");
+    t.report.phases[i].ns = sc.u64_value();
+    sc.expect("}");
+  }
+  sc.expect("}");
+  sc.expect("}");
+  sc.expect_end();
+  return t;
+}
+
 }  // namespace
 
 std::string serialize_chunk_stream(const Scenario& scenario,
@@ -298,6 +356,35 @@ std::string serialize_chunk_stream(const Scenario& scenario,
     }
     out += "}}\n";
   }
+
+  // v2 trailer: the shard's merged observability report. Always written,
+  // every counter and phase in enum order, so the line layout (and the
+  // strict parser above) never depends on what a run happened to count.
+  std::snprintf(buf, sizeof buf,
+                "{\"trailer\":\"hs-metrics\",\"version\":%d,\"threads\":%u,"
+                "\"wall_ns\":%" PRIu64 ",\"counters\":{",
+                obs::kMetricsVersion, exec.threads,
+                static_cast<std::uint64_t>(exec.wall_seconds * 1e9));
+  out += buf;
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += obs::counter_name(static_cast<obs::Counter>(i));
+    out += "\":";
+    out += std::to_string(exec.metrics.counters[i]);
+  }
+  out += "},\"phases\":{";
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += obs::phase_name(static_cast<obs::Phase>(i));
+    out += "\":{\"calls\":";
+    out += std::to_string(exec.metrics.phases[i].calls);
+    out += ",\"ns\":";
+    out += std::to_string(exec.metrics.phases[i].ns);
+    out += '}';
+  }
+  out += "}}\n";
   return out;
 }
 
@@ -322,14 +409,17 @@ ChunkStream parse_chunk_stream(std::string_view text,
 
   ChunkStream stream;
   stream.header = parse_header(lines[0], source);
-  if (lines.size() - 1 != stream.header.chunk_count) {
+  // v2 layout: header + chunk_count records + metrics trailer.
+  if (lines.size() != 1 + stream.header.chunk_count + 1) {
     throw ChunkStreamError(
         "chunk-stream: " + std::string(source) + ": header promises " +
-        std::to_string(stream.header.chunk_count) + " chunk records, found " +
-        std::to_string(lines.size() - 1) + " (truncated or padded stream)");
+        std::to_string(stream.header.chunk_count) +
+        " chunk records plus a metrics trailer, found " +
+        std::to_string(lines.size() - 1) +
+        " lines after the header (truncated or padded stream)");
   }
   stream.chunks.reserve(stream.header.chunk_count);
-  for (std::size_t i = 1; i < lines.size(); ++i) {
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
     ChunkRecord rec =
         parse_chunk_record(lines[i], source, i + 1, stream.header);
     if (!stream.chunks.empty() &&
@@ -341,6 +431,8 @@ ChunkStream parse_chunk_stream(std::string_view text,
     }
     stream.chunks.push_back(std::move(rec));
   }
+  stream.trailer =
+      parse_metrics_trailer(lines.back(), source, lines.size());
   return stream;
 }
 
@@ -357,7 +449,8 @@ ChunkStream load_chunk_stream(const std::string& path) {
 }
 
 CampaignResult merge_chunk_streams(const Scenario& scenario,
-                                   const std::vector<ChunkStream>& streams) {
+                                   const std::vector<ChunkStream>& streams,
+                                   MergedMetrics* metrics) {
   if (streams.empty()) {
     throw ChunkStreamError("chunk-stream merge: no streams given");
   }
@@ -457,6 +550,16 @@ CampaignResult merge_chunk_streams(const Scenario& scenario,
     }
   }
   result.total_trials = h0.point_count * h0.trials_per_point;
+
+  if (metrics != nullptr) {
+    *metrics = MergedMetrics{};
+    metrics->shards = streams.size();
+    for (const ChunkStream& s : streams) {
+      metrics->threads += s.trailer.threads;
+      metrics->wall_ns += s.trailer.wall_ns;
+      metrics->report.merge(s.trailer.report);
+    }
+  }
   return result;
 }
 

@@ -5,7 +5,7 @@
 ///
 /// Wire format — one JSON object per line:
 ///
-///   line 1    header: {"format":"hs-chunk-stream","version":1,
+///   line 1    header: {"format":"hs-chunk-stream","version":2,
 ///             "scenario":...,"seed":...,"trials_per_point":...,
 ///             "chunk_size":...,"shard_count":K,"shard_index":i,
 ///             "point_count":...,"total_chunks":...,"chunk_count":N}
@@ -13,16 +13,24 @@
 ///             {"chunk":id,"point":p,"trial_begin":a,"trial_end":b,
 ///              "metrics":{"<metric_name>":{"count":n,"mean":"0x...",
 ///              "m2":"0x...","min":"0x...","max":"0x..."}}}
+///   last line metrics trailer (v2+, mandatory): the shard's merged
+///             observability report, so `--merge` can aggregate all K
+///             shards' counters and phase timers:
+///             {"trailer":"hs-metrics","version":1,"threads":T,
+///              "wall_ns":W,"counters":{"<counter>":n,... every
+///              obs::Counter in enum order},"phases":{"<phase>":
+///              {"calls":c,"ns":t},... every obs::Phase in enum order}}
 ///
 /// Doubles travel as C99 hex-float strings ("0x1.5bf0a8b145769p+1"):
 /// exact binary round trip, no decimal rounding, locale-proof. Only
-/// metrics with samples are written.
+/// metrics with samples are written; trailer counters/phases are always
+/// written (integers, zero included) so the trailer layout is fixed.
 ///
 /// The parser and merge are strict by design: truncated lines, missing
 /// or duplicate chunk ids, chunk metadata that disagrees with the shard
-/// plan, and header mismatches across streams (different scenario, seed,
-/// trial count, chunk size, shard count or version) are hard errors —
-/// never a silent partial merge.
+/// plan, a missing or malformed trailer, and header mismatches across
+/// streams (different scenario, seed, trial count, chunk size, shard
+/// count or version) are hard errors — never a silent partial merge.
 #pragma once
 
 #include <stdexcept>
@@ -41,7 +49,9 @@ class ChunkStreamError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-inline constexpr int kChunkStreamVersion = 1;
+/// v2 appended the mandatory metrics trailer line (observability report
+/// per shard). v1 streams are rejected — regenerate with --emit-chunks.
+inline constexpr int kChunkStreamVersion = 2;
 
 struct ChunkStreamHeader {
   int version = kChunkStreamVersion;
@@ -61,9 +71,29 @@ struct ChunkRecord {
   std::array<StreamingStats, kMetricCount> metrics;
 };
 
+/// The shard's observability report as carried by the v2 trailer line.
+struct ShardMetricsTrailer {
+  int version = obs::kMetricsVersion;
+  unsigned threads = 1;
+  std::uint64_t wall_ns = 0;
+  obs::Report report;
+};
+
 struct ChunkStream {
   ChunkStreamHeader header;
   std::vector<ChunkRecord> chunks;
+  ShardMetricsTrailer trailer;
+};
+
+/// Aggregated observability across the K merged shard streams: thread
+/// counts and wall time are summed (total CPU budget, not elapsed time),
+/// the reports merged counter-by-counter. Kept separate from the
+/// canonical CampaignResult, whose runtime fields stay zeroed.
+struct MergedMetrics {
+  std::size_t shards = 0;
+  unsigned threads = 0;
+  std::uint64_t wall_ns = 0;
+  obs::Report report;
 };
 
 /// Serializes one shard's execution. `options` supplies the campaign
@@ -88,8 +118,11 @@ ChunkStream load_chunk_stream(const std::string& path);
 /// cover shard indices 0..K-1 exactly once, match the recomputed shard
 /// plans chunk-for-chunk, and jointly cover every global chunk id
 /// exactly once. The result's runtime fields (wall time, threads, pool
-/// counters) are zeroed — reports are canonical. Throws ChunkStreamError.
+/// counters) are zeroed — reports are canonical. With `metrics` non-null
+/// the shard trailers are aggregated into it (merge order never matters:
+/// Report::merge is integer addition). Throws ChunkStreamError.
 CampaignResult merge_chunk_streams(const Scenario& scenario,
-                                   const std::vector<ChunkStream>& streams);
+                                   const std::vector<ChunkStream>& streams,
+                                   MergedMetrics* metrics = nullptr);
 
 }  // namespace hs::campaign

@@ -218,11 +218,63 @@ void canonicalize(CampaignResult& result) {
   result.snapshots_saved = 0;
 }
 
+std::string metrics_report_json(const std::string& scenario_name,
+                                std::uint64_t seed, std::size_t shards,
+                                unsigned threads, double wall_seconds,
+                                const obs::Report& report) {
+  std::string out;
+  out.reserve(2048);
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"format\": \"hs-metrics\",\n"
+                "  \"version\": %d,\n",
+                obs::kMetricsVersion);
+  out += buf;
+  out += "  \"scenario\": \"" + json_escape(scenario_name) + "\",\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"seed\": %" PRIu64 ",\n"
+                "  \"shards\": %zu,\n"
+                "  \"threads\": %u,\n"
+                "  \"wall_seconds\": %.6f,\n"
+                "  \"counters\": {\n",
+                seed, shards, threads, wall_seconds);
+  out += buf;
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    std::snprintf(buf, sizeof buf, "    \"%.*s\": %" PRIu64 "%s\n",
+                  static_cast<int>(
+                      obs::counter_name(static_cast<obs::Counter>(i)).size()),
+                  obs::counter_name(static_cast<obs::Counter>(i)).data(),
+                  report.counters[i],
+                  i + 1 < obs::kCounterCount ? "," : "");
+    out += buf;
+  }
+  out += "  },\n  \"phases\": {\n";
+  const double wall_ns = wall_seconds > 0.0 ? wall_seconds * 1e9 : 0.0;
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    const obs::PhaseTotals& t = report.phases[i];
+    const double share =
+        wall_ns > 0.0 ? static_cast<double>(t.ns) / wall_ns : 0.0;
+    std::snprintf(buf, sizeof buf,
+                  "    \"%.*s\": {\"calls\": %" PRIu64 ", \"ns\": %" PRIu64
+                  ", \"share\": %.6f}%s\n",
+                  static_cast<int>(
+                      obs::phase_name(static_cast<obs::Phase>(i)).size()),
+                  obs::phase_name(static_cast<obs::Phase>(i)).data(),
+                  t.calls, t.ns, share,
+                  i + 1 < obs::kPhaseCount ? "," : "");
+    out += buf;
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
 std::string perf_snapshot_json(const CampaignResult& serial_no_reuse,
                                const CampaignResult& serial_reuse,
                                const CampaignResult& warm,
                                const CampaignResult& parallel_warm,
-                               unsigned hardware_threads) {
+                               unsigned hardware_threads,
+                               const CampaignResult* obs_run) {
   const auto ratio = [](const CampaignResult& a, const CampaignResult& b) {
     return a.wall_seconds > 0.0 && b.wall_seconds > 0.0
                ? a.wall_seconds / b.wall_seconds
@@ -251,8 +303,7 @@ std::string perf_snapshot_json(const CampaignResult& serial_no_reuse,
       "  \"reuse_speedup\": %.3f,\n"
       "  \"warm_speedup\": %.3f,\n"
       "  \"thread_speedup\": %.3f,\n"
-      "  \"speedup\": %.3f\n"
-      "}\n",
+      "  \"speedup\": %.3f",
       serial_no_reuse.scenario.name.c_str(), serial_no_reuse.options.seed,
       serial_no_reuse.total_trials, hardware_threads,
       serial_no_reuse.wall_seconds,
@@ -267,7 +318,38 @@ std::string perf_snapshot_json(const CampaignResult& serial_no_reuse,
       ratio(serial_reuse, warm),
       ratio(warm, parallel_warm),
       ratio(serial_no_reuse, parallel_warm));
-  return std::string(buf);
+  std::string out(buf);
+
+  if (obs_run != nullptr) {
+    // The instrumented leg: same campaign as `warm` but with phase
+    // timers on. obs_overhead is the acceptance metric (<= 1.02);
+    // phase_breakdown surfaces where the wall time went.
+    std::snprintf(buf, sizeof buf,
+                  ",\n"
+                  "  \"obs\": {\"threads\": 1, \"wall_seconds\": %.6f, "
+                  "\"trials_per_second\": %.3f},\n"
+                  "  \"obs_overhead\": %.3f,\n"
+                  "  \"phase_breakdown\": {",
+                  obs_run->wall_seconds, obs_run->trials_per_second(),
+                  ratio(*obs_run, warm));
+    out += buf;
+    const double wall_ns =
+        obs_run->wall_seconds > 0.0 ? obs_run->wall_seconds * 1e9 : 0.0;
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+      const obs::PhaseTotals& t = obs_run->metrics.phases[i];
+      const double share =
+          wall_ns > 0.0 ? static_cast<double>(t.ns) / wall_ns : 0.0;
+      std::snprintf(
+          buf, sizeof buf, "%s\"%.*s\": %.4f", i > 0 ? ", " : "",
+          static_cast<int>(
+              obs::phase_name(static_cast<obs::Phase>(i)).size()),
+          obs::phase_name(static_cast<obs::Phase>(i)).data(), share);
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "\n}\n";
+  return out;
 }
 
 }  // namespace hs::campaign

@@ -38,6 +38,17 @@ bool write_file(const std::string& path, const std::string& content);
 /// to the serial reference before diffing reports.
 void canonicalize(CampaignResult& result);
 
+/// The `--metrics-json` document (schema in docs/REPRODUCING.md):
+/// versioned header, run geometry (shards/threads/wall), every
+/// obs::Counter, and every obs::Phase with calls, accumulated
+/// nanoseconds, and its share of total wall time (phases nest, so
+/// shares overlap — they are not a partition). `wall_seconds` <= 0
+/// writes every share as 0.
+std::string metrics_report_json(const std::string& scenario_name,
+                                std::uint64_t seed, std::size_t shards,
+                                unsigned threads, double wall_seconds,
+                                const obs::Report& report);
+
 /// Perf snapshot comparing four runs of the same campaign — 1 thread
 /// without deployment reuse, 1 thread with reset-based reuse (snapshots
 /// off), 1 thread with warm-snapshot restores, N threads with snapshots —
@@ -47,10 +58,15 @@ void canonicalize(CampaignResult& result);
 /// `hardware_threads` records what std::thread::hardware_concurrency()
 /// reported, so a snapshot taken on a small machine is self-describing
 /// (a 1-hardware-thread box cannot show thread_speedup > 1).
+/// `obs_run`, when given, is a fifth leg identical to `warm` but with
+/// phase timers enabled: the snapshot gains an "obs" section, an
+/// "obs_overhead" ratio (obs wall / warm wall — the acceptance gate is
+/// <= 1.02) and a "phase_breakdown" of per-phase wall-time shares.
 std::string perf_snapshot_json(const CampaignResult& serial_no_reuse,
                                const CampaignResult& serial_reuse,
                                const CampaignResult& warm,
                                const CampaignResult& parallel_warm,
-                               unsigned hardware_threads);
+                               unsigned hardware_threads,
+                               const CampaignResult* obs_run = nullptr);
 
 }  // namespace hs::campaign

@@ -8,6 +8,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 
 #include "dsp/correlate.hpp"
@@ -18,6 +19,7 @@
 #include "imd/protocol.hpp"
 #include "mics/band.hpp"
 #include "mics/channelizer.hpp"
+#include "obs/metrics.hpp"
 #include "phy/frame.hpp"
 #include "phy/fsk.hpp"
 #include "shield/antidote.hpp"
@@ -516,58 +518,116 @@ ShardExecution run_campaign_shard(const Scenario& scenario,
   if (options.snapshots) cache.emplace(options.snapshot_dir);
   snapshot::SnapshotCache* cache_ptr = cache ? &*cache : nullptr;
 
+  // Shared observability sink: workers accumulate counters (and, with
+  // CampaignOptions::metrics_timers, phase timers) into thread-local
+  // blocks and fold them in here only at chunk boundaries — the merge
+  // never synchronizes inside a trial and never touches RNG streams.
+  obs::MetricsRegistry registry(options.metrics_timers);
+  const bool tracing = options.trace != nullptr;
+
+  // Legacy pool-effectiveness counters keep their historical accounting:
+  // the no-reuse baseline records only built/restored/saved from its
+  // throwaway contexts (within-trial resets excluded), matching what the
+  // A/B comparison has always reported. The obs report counts every
+  // event at its site and is the superset.
   std::atomic<std::size_t> deployments_built{0};
   std::atomic<std::size_t> deployments_reused{0};
-  std::atomic<std::size_t> chunks_stolen{0};
   std::atomic<std::size_t> snapshots_restored{0};
   std::atomic<std::size_t> snapshots_saved{0};
   std::atomic<std::size_t> chunks_done{0};
   const std::size_t progress_every =
       std::max<std::size_t>(std::size_t{1}, chunks.size() / 10);
   const auto worker = [&](unsigned self) {
+    obs::WorkerScope oscope(&registry, options.trace,
+                            "worker-" + std::to_string(self));
     // One trial-context pool per worker: deployments and experiment nodes
     // are reset-and-reseeded between this worker's trials instead of
     // reconstructed (bit-identical either way; see trial_context.hpp).
     shield::TrialContext pool;
     pool.set_warm_policy(warm_seed, cache_ptr);
     for (;;) {
-      std::optional<std::size_t> c = queues[self].pop(false);
-      for (unsigned v = 1; !c && v < thread_count; ++v) {
-        c = queues[(self + v) % thread_count].pop(true);
-        if (c) chunks_stolen.fetch_add(1);
+      std::optional<std::size_t> c;
+      bool stolen = false;
+      {
+        obs::ScopedTimer acquire(obs::Phase::kChunkAcquire);
+        c = queues[self].pop(false);
+        for (unsigned v = 1; !c && v < thread_count; ++v) {
+          c = queues[(self + v) % thread_count].pop(true);
+          if (c) stolen = true;
+        }
       }
       if (!c) break;
       const ChunkRef& chunk = chunks[*c];
-      const double axis_value = scenario.axis_value_at(chunk.point_index);
-      for (std::size_t t = chunk.trial_begin; t < chunk.trial_end; ++t) {
-        const std::uint64_t seed = trial_seed(options.seed, scenario.name,
-                                              chunk.point_index, t);
-        std::vector<TrialSample> samples;
-        if (options.reuse_deployments) {
-          samples =
-              run_trial(scenario, chunk.point_index, axis_value, seed, &pool);
-        } else {
-          // The A/B baseline: a throwaway context per trial keeps every
-          // node freshly constructed (only the warm policy carries over,
-          // so aggregates still match the pooled legs bit-for-bit).
-          shield::TrialContext fresh;
-          fresh.set_warm_policy(warm_seed, cache_ptr);
-          samples = run_trial(scenario, chunk.point_index, axis_value, seed,
-                              &fresh);
-          deployments_built.fetch_add(fresh.deployments_built());
-          snapshots_restored.fetch_add(fresh.snapshots_restored());
-          snapshots_saved.fetch_add(fresh.snapshots_saved());
-        }
-        for (const auto& sample : samples) {
-          exec.chunk_metrics[*c][static_cast<std::size_t>(sample.metric)].add(
-              sample.value);
+      if (stolen) {
+        obs::count(obs::Counter::kChunksStolen);
+        if (tracing) {
+          char args[48];
+          std::snprintf(args, sizeof args, "{\"chunk\":%zu}",
+                        chunk.chunk_index);
+          obs::trace_instant("steal", "steal", args);
         }
       }
+      const double axis_value = scenario.axis_value_at(chunk.point_index);
+      {
+        std::optional<obs::TraceSpan> chunk_span;
+        if (tracing) {
+          char args[96];
+          std::snprintf(args, sizeof args,
+                        "{\"chunk\":%zu,\"point\":%zu,\"trials\":%zu,"
+                        "\"stolen\":%s}",
+                        chunk.chunk_index, chunk.point_index,
+                        chunk.trial_end - chunk.trial_begin,
+                        stolen ? "true" : "false");
+          chunk_span.emplace("chunk",
+                             "chunk " + std::to_string(chunk.chunk_index),
+                             std::string(args));
+        }
+        for (std::size_t t = chunk.trial_begin; t < chunk.trial_end; ++t) {
+          const std::uint64_t seed = trial_seed(options.seed, scenario.name,
+                                                chunk.point_index, t);
+          std::vector<TrialSample> samples;
+          {
+            obs::ScopedTimer trial_timer(obs::Phase::kTrial);
+            if (options.reuse_deployments) {
+              samples = run_trial(scenario, chunk.point_index, axis_value,
+                                  seed, &pool);
+            } else {
+              // The A/B baseline: a throwaway context per trial keeps every
+              // node freshly constructed (only the warm policy carries over,
+              // so aggregates still match the pooled legs bit-for-bit).
+              shield::TrialContext fresh;
+              fresh.set_warm_policy(warm_seed, cache_ptr);
+              samples = run_trial(scenario, chunk.point_index, axis_value,
+                                  seed, &fresh);
+              deployments_built.fetch_add(fresh.deployments_built());
+              snapshots_restored.fetch_add(fresh.snapshots_restored());
+              snapshots_saved.fetch_add(fresh.snapshots_saved());
+            }
+          }
+          obs::count(obs::Counter::kTrials);
+          obs::ScopedTimer merge_timer(obs::Phase::kStatsMerge);
+          for (const auto& sample : samples) {
+            exec.chunk_metrics[*c][static_cast<std::size_t>(sample.metric)]
+                .add(sample.value);
+          }
+        }
+      }
+      obs::count(obs::Counter::kChunks);
+      oscope.flush();  // chunk boundary: fold the thread block + spans
       if (options.progress) {
         const std::size_t done = chunks_done.fetch_add(1) + 1;
         if (done % progress_every == 0 || done == chunks.size()) {
-          std::fprintf(stderr, "shard %zu/%zu: chunks %zu/%zu\n",
-                       shard_index, shard_count, done, chunks.size());
+          // One fwrite + flush per line: run_sharded.py multiplexes the
+          // stderr of K shard processes, and a buffered or split write
+          // could interleave partial lines across shards.
+          char line[96];
+          const int len =
+              std::snprintf(line, sizeof line, "shard %zu/%zu: chunks %zu/%zu\n",
+                            shard_index, shard_count, done, chunks.size());
+          if (len > 0) {
+            std::fwrite(line, 1, static_cast<std::size_t>(len), stderr);
+            std::fflush(stderr);
+          }
         }
       }
     }
@@ -590,9 +650,10 @@ ShardExecution run_campaign_shard(const Scenario& scenario,
   }
   const auto t1 = std::chrono::steady_clock::now();
   exec.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  exec.metrics = registry.report();
   exec.deployments_built = deployments_built.load();
   exec.deployments_reused = deployments_reused.load();
-  exec.chunks_stolen = chunks_stolen.load();
+  exec.chunks_stolen = exec.metrics.counter(obs::Counter::kChunksStolen);
   exec.snapshots_restored = snapshots_restored.load();
   exec.snapshots_saved = snapshots_saved.load();
   return exec;
@@ -612,6 +673,7 @@ CampaignResult run_campaign(const Scenario& scenario,
   result.chunks_stolen = exec.chunks_stolen;
   result.snapshots_restored = exec.snapshots_restored;
   result.snapshots_saved = exec.snapshots_saved;
+  result.metrics = exec.metrics;
 
   result.points.resize(exec.plan.point_count);
   for (std::size_t p = 0; p < exec.plan.point_count; ++p) {
@@ -619,12 +681,23 @@ CampaignResult run_campaign(const Scenario& scenario,
     result.points[p].axis_value = scenario.axis_value_at(p);
   }
   // A single shard's chunks are already every chunk in ascending id
-  // order — fold them exactly as the multi-shard merge does.
-  for (std::size_t c = 0; c < exec.plan.chunks.size(); ++c) {
-    auto& point = result.points[exec.plan.chunks[c].point_index];
-    for (std::size_t m = 0; m < kMetricCount; ++m) {
-      point.metrics[m].merge(exec.chunk_metrics[c][m]);
+  // order — fold them exactly as the multi-shard merge does. The fold is
+  // timed through its own scope so --metrics-json attributes it to
+  // stats_merge alongside the in-worker accumulation.
+  {
+    obs::MetricsRegistry fold_registry(options.metrics_timers);
+    obs::WorkerScope fold_scope(&fold_registry, nullptr, "merge");
+    {
+      obs::ScopedTimer fold_timer(obs::Phase::kStatsMerge);
+      for (std::size_t c = 0; c < exec.plan.chunks.size(); ++c) {
+        auto& point = result.points[exec.plan.chunks[c].point_index];
+        for (std::size_t m = 0; m < kMetricCount; ++m) {
+          point.metrics[m].merge(exec.chunk_metrics[c][m]);
+        }
+      }
     }
+    fold_scope.flush();
+    result.metrics.merge(fold_registry.report());
   }
   result.total_trials = exec.plan.point_count * exec.plan.trials_per_point;
   return result;

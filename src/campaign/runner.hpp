@@ -32,6 +32,7 @@
 #include "campaign/scenario.hpp"
 #include "campaign/shard.hpp"
 #include "campaign/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace hs::shield {
 class TrialContext;
@@ -69,6 +70,15 @@ struct CampaignOptions {
   /// (enabled by the CLI's shard mode; tools/run_sharded.py multiplexes
   /// the streams of all shard processes).
   bool progress = false;
+  /// Collect nanosecond phase timers (obs::Phase) alongside the
+  /// always-on counters. Enabled by the CLI's `--metrics-json`; timers
+  /// read clocks only, never RNG state, so aggregates are bit-identical
+  /// with timers on or off.
+  bool metrics_timers = false;
+  /// Optional Chrome-trace span recorder (the CLI's `--trace`); not
+  /// owned. Workers buffer spans thread-locally and flush them at chunk
+  /// boundaries. Null disables tracing.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Aggregates for one sweep point.
@@ -100,6 +110,11 @@ struct CampaignResult {
   /// with snapshots off.
   std::size_t snapshots_restored = 0;
   std::size_t snapshots_saved = 0;
+  /// Merged observability report: every counter above plus (when
+  /// CampaignOptions::metrics_timers was set) per-phase wall time.
+  /// Runtime-only — reports/CSV/JSON never include it, so canonical
+  /// outputs stay byte-identical with metrics on or off.
+  obs::Report metrics;
 
   double trials_per_second() const {
     return wall_seconds > 0.0
@@ -150,6 +165,10 @@ struct ShardExecution {
   std::size_t chunks_stolen = 0;
   std::size_t snapshots_restored = 0;
   std::size_t snapshots_saved = 0;
+  /// Merged-across-workers observability report for this shard; the
+  /// chunk-stream trailer serializes it so `--merge` can aggregate all
+  /// K shards' metrics (see chunk_stream.hpp).
+  obs::Report metrics;
 };
 
 /// Runs shard `shard_index` of `shard_count` on the work-stealing pool.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/units.hpp"
+#include "obs/metrics.hpp"
 #include "snapshot/state_io.hpp"
 
 namespace hs::channel {
@@ -261,6 +262,7 @@ double Medium::noise_power() const {
 }
 
 void Medium::mix() {
+  obs::ScopedTimer obs_timer(obs::Phase::kMediumMix);
   const double n0 = noise_enabled_ ? noise_power() : 0.0;
   for (AntennaId to = 0; to < antennas_.size(); ++to) {
     auto& out = rx_[to];

@@ -1,0 +1,74 @@
+/// @file
+/// Chrome-trace span recorder: collects duration (B/E), instant (i) and
+/// metadata (M) events from many threads and serializes them as a
+/// `chrome://tracing` / Perfetto-loadable JSON document.
+///
+/// The recorder is deliberately dumb: threads buffer their events locally
+/// (see obs/metrics.hpp WorkerScope) and hand them over in batches at
+/// chunk boundaries, so recording never takes a lock inside a trial.
+/// Timestamps are steady-clock nanoseconds since the recorder's epoch;
+/// each thread's events are appended in capture order, so per-tid
+/// timestamps are monotonic in the output — the property
+/// tools/check_obs.py verifies.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hs::obs {
+
+/// Version of the emitted trace document ("hs-trace" in its metadata).
+inline constexpr int kTraceVersion = 1;
+
+/// One trace event. `phase` follows the Chrome trace-event format:
+/// 'B'/'E' open/close a duration span on (pid, tid), 'i' is an instant,
+/// 'M' carries thread metadata (thread_name).
+struct TraceEvent {
+  std::string name;
+  const char* category = "";
+  char phase = 'i';
+  std::uint64_t ts_ns = 0;
+  std::uint32_t tid = 0;
+  std::string args_json;  ///< preformatted JSON object body, may be empty
+};
+
+class TraceRecorder {
+ public:
+  /// `pid` labels this process in the timeline; shard processes pass
+  /// their shard index so merged-by-eye timelines stay distinguishable.
+  explicit TraceRecorder(std::uint32_t pid = 0);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Assigns the calling thread a tid and records its thread_name
+  /// metadata event. Thread-safe.
+  std::uint32_t register_thread(const std::string& name);
+
+  /// Appends a batch of events (a thread's pending buffer) and clears the
+  /// input. Thread-safe; called at chunk boundaries, never per sample.
+  void add(std::vector<TraceEvent>& events);
+
+  /// Nanoseconds since the recorder's construction (the trace epoch).
+  std::uint64_t now_ns() const;
+
+  std::uint32_t pid() const { return pid_; }
+
+  /// The Chrome trace-event JSON document: {"traceEvents": [...], ...}.
+  std::string to_json() const;
+
+  /// Snapshot of the recorded events, for tests. Thread-safe.
+  std::vector<TraceEvent> events() const;
+
+ private:
+  std::uint32_t pid_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::uint32_t next_tid_ = 1;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hs::obs

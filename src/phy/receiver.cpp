@@ -7,6 +7,7 @@
 
 #include "dsp/correlate.hpp"
 #include "dsp/power.hpp"
+#include "obs/metrics.hpp"
 #include "snapshot/state_io.hpp"
 
 namespace hs::phy {
@@ -53,6 +54,7 @@ void FskReceiver::reset() {
 }
 
 void FskReceiver::push(dsp::SampleView samples) {
+  obs::ScopedTimer obs_timer(obs::Phase::kReceiverDemod);
   // While scanning unlocked, everything before the sweep's look-back
   // window (scan_pos_ - sps) is dead; trim it periodically so long idle
   // or noise-only stretches do not grow the buffer without bound. Purely
@@ -67,6 +69,7 @@ void FskReceiver::push(dsp::SampleView samples) {
 }
 
 void FskReceiver::push(dsp::SoaView samples) {
+  obs::ScopedTimer obs_timer(obs::Phase::kReceiverDemod);
   if (!locked_ && scan_pos_ > kCompactScanSamples + params_.sps) {
     compact_buffer(scan_pos_ - params_.sps);
   }

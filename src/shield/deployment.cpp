@@ -1,6 +1,7 @@
 #include "shield/deployment.hpp"
 
 #include "channel/geometry.hpp"
+#include "obs/metrics.hpp"
 #include "snapshot/state_io.hpp"
 
 namespace hs::shield {
@@ -70,7 +71,11 @@ Deployment::Deployment(const DeploymentOptions& options) : options_(options) {
     timeline_->add_node(observer_.get());
   }
 
-  if (options_.warmup_s > 0.0) timeline_->run_for(options_.warmup_s);
+  if (options_.warmup_s > 0.0) {
+    obs::ScopedTimer timer(obs::Phase::kWarmup);
+    obs::TraceSpan span("deploy", "warmup");
+    timeline_->run_for(options_.warmup_s);
+  }
   begin_trial(options_.seed);
 }
 
@@ -125,7 +130,11 @@ void Deployment::reset(const DeploymentOptions& options) {
     timeline_->add_node(observer_.get());
   }
 
-  if (options_.warmup_s > 0.0) timeline_->run_for(options_.warmup_s);
+  if (options_.warmup_s > 0.0) {
+    obs::ScopedTimer timer(obs::Phase::kWarmup);
+    obs::TraceSpan span("deploy", "warmup");
+    timeline_->run_for(options_.warmup_s);
+  }
   begin_trial(options_.seed);
 }
 

@@ -6,6 +6,7 @@
 
 #include "dsp/fft.hpp"
 #include "dsp/spectrum.hpp"
+#include "obs/metrics.hpp"
 #include "snapshot/state_io.hpp"
 
 namespace hs::shield {
@@ -173,6 +174,7 @@ void JammingSignalGenerator::refill() {
 }
 
 Samples JammingSignalGenerator::next(std::size_t n) {
+  obs::ScopedTimer obs_timer(obs::Phase::kJamgen);
   Samples out;
   out.reserve(n);
   while (out.size() < n) {
@@ -188,6 +190,7 @@ Samples JammingSignalGenerator::next(std::size_t n) {
 }
 
 void JammingSignalGenerator::next(std::size_t n, dsp::SoaSamples& out) {
+  obs::ScopedTimer obs_timer(obs::Phase::kJamgen);
   out.clear();
   out.reserve(n);
   while (out.size() < n) {

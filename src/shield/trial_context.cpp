@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "snapshot/snapshot_cache.hpp"
 
 namespace hs::shield {
@@ -16,9 +17,11 @@ Deployment& TrialContext::cold_deployment(const DeploymentOptions& options) {
   if (deployment_ != nullptr && deployment_->can_reset_to(options)) {
     deployment_->reset(options);
     ++deployments_reused_;
+    obs::count(obs::Counter::kDeploymentsReused);
   } else {
     deployment_ = std::make_unique<Deployment>(options);
     ++deployments_built_;
+    obs::count(obs::Counter::kDeploymentsBuilt);
   }
   return *deployment_;
 }
@@ -35,19 +38,31 @@ Deployment& TrialContext::deployment(const DeploymentOptions& options) {
     // publish so every later trial — this worker's, its siblings', other
     // shard processes' — restores instead of re-simulating the warm-up.
     Deployment& d = cold_deployment(opts);
-    cache_->store(key, d.save_warm());
+    {
+      obs::ScopedTimer timer(obs::Phase::kSnapshotSave);
+      obs::TraceSpan span("snapshot", "snapshot_save");
+      cache_->store(key, d.save_warm());
+    }
     ++snapshots_saved_;
+    obs::count(obs::Counter::kSnapshotsSaved);
     return d;
   }
   try {
-    if (deployment_ != nullptr && deployment_->can_reset_to(opts)) {
-      deployment_->restore_warm(*doc, opts);
-      ++deployments_reused_;
-    } else {
-      deployment_ = std::make_unique<Deployment>(*doc, opts);
-      ++deployments_built_;
+    {
+      obs::ScopedTimer timer(obs::Phase::kSnapshotRestore);
+      obs::TraceSpan span("snapshot", "snapshot_restore");
+      if (deployment_ != nullptr && deployment_->can_reset_to(opts)) {
+        deployment_->restore_warm(*doc, opts);
+        ++deployments_reused_;
+        obs::count(obs::Counter::kDeploymentsReused);
+      } else {
+        deployment_ = std::make_unique<Deployment>(*doc, opts);
+        ++deployments_built_;
+        obs::count(obs::Counter::kDeploymentsBuilt);
+      }
     }
     ++snapshots_restored_;
+    obs::count(obs::Counter::kSnapshotsRestored);
     return *deployment_;
   } catch (const snapshot::SnapshotError& e) {
     // A restore must never half-apply: discard the touched deployment and

@@ -260,7 +260,7 @@ TEST_F(ChunkStreamCorruption, RejectsDuplicateChunkIds) {
 
 TEST_F(ChunkStreamCorruption, RejectsVersionAndFormatMismatch) {
   std::string forged = text_;
-  forged.replace(forged.find("\"version\":1"), 11, "\"version\":9");
+  forged.replace(forged.find("\"version\":2"), 11, "\"version\":9");
   EXPECT_THROW(parse_chunk_stream(forged, "v9"), ChunkStreamError);
 
   std::string not_ours = text_;

@@ -27,6 +27,13 @@ byte-identical with or without snapshots.
 --canonical) and byte-compares its reports against the merged ones,
 exiting non-zero on any difference.
 
+--metrics-json PATH has the merge step aggregate the K shards' metrics
+trailers (counters + phase timers, summed) into one hs-metrics document
+and turns each shard's phase timers on (per-shard documents land next to
+the chunk streams as shard-i.metrics.json);
+--trace-dir DIR gives every shard process its own Chrome-trace timeline
+(shard-i.trace.json, pid = shard index — load them together in Perfetto).
+
 --update-bench BENCH_campaign.json appends a "sharded" row (wall time,
 trials/sec, merge_verified) and a "sharded_speedup" ratio to an existing
 perf snapshot written by `campaign_runner --bench-json`.
@@ -83,6 +90,12 @@ def main():
                          "no shard ever runs a cold warm-up")
     ap.add_argument("--verify", action="store_true",
                     help="byte-compare merged reports against a serial run")
+    ap.add_argument("--metrics-json", default="", metavar="PATH",
+                    help="aggregate the shards' metrics trailers into one "
+                         "hs-metrics document at the merge step")
+    ap.add_argument("--trace-dir", default="", metavar="DIR",
+                    help="write each shard's Chrome-trace timeline to "
+                         "DIR/shard-i.trace.json (created if missing)")
     ap.add_argument("--update-bench", default="", metavar="SNAPSHOT",
                     help="add a 'sharded' row to this BENCH_campaign.json")
     args = ap.parse_args()
@@ -112,12 +125,23 @@ def main():
 
     # --- fan out: one process per shard, all concurrent -------------------
     streams = [outdir / f"shard-{i}.jsonl" for i in range(args.shards)]
+    trace_dir = None
+    if args.trace_dir:
+        trace_dir = pathlib.Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
     t0 = time.monotonic()
     procs = []
     pumps = []
     for i, stream in enumerate(streams):
         cmd = [str(runner), *common, f"--shards={args.shards}",
                f"--shard={i}", f"--emit-chunks={stream}"]
+        if args.metrics_json:
+            # Per-shard metrics documents ride along; requesting them also
+            # turns the shard's phase timers on, so the trailer the merge
+            # aggregates carries timings, not just counters.
+            cmd.append(f"--metrics-json={outdir / f'shard-{i}.metrics.json'}")
+        if trace_dir is not None:
+            cmd.append(f"--trace={trace_dir / f'shard-{i}.trace.json'}")
         p = subprocess.Popen(cmd, stderr=subprocess.PIPE)
         procs.append((cmd, p))
         pump = threading.Thread(target=pump_stderr, args=(i, p.stderr),
@@ -136,6 +160,8 @@ def main():
     csv_path = args.csv or str(outdir / "merged.csv")
     json_path = args.json or str(outdir / "merged.json")
     merge_cmd += [f"--csv={csv_path}", f"--json={json_path}"]
+    if args.metrics_json:
+        merge_cmd.append(f"--metrics-json={args.metrics_json}")
     run_checked(merge_cmd, "merge")
     wall = time.monotonic() - t0
     print(f"run_sharded: {args.shards} shard(s) + merge in {wall:.2f}s")
