@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "campaign/chunk_stream.hpp"
+#include "campaign/dispatch.hpp"
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/scenario.hpp"
@@ -108,7 +109,14 @@ int usage(const char* argv0, bool is_error) {
       "          [--csv=PATH] [--json=PATH] [--bench-json=PATH]\n"
       "          [--metrics-json=PATH] [--trace=PATH] [--version]\n"
       "       %s --shards=K --shard=I --emit-chunks=PATH [run options]\n"
+      "          [--chunks=ID,ID,...] [--fault-plan=SPEC]\n"
       "       %s --merge A.jsonl B.jsonl ... [--csv=PATH] [--json=PATH]\n"
+      "          [--metrics-json=PATH]\n"
+      "       %s --recover A.jsonl B.jsonl ... [--threads=N] [--csv=PATH]\n"
+      "          [--json=PATH] [--metrics-json=PATH]\n"
+      "       %s --dispatch --shards=K [--executor=thread|process]\n"
+      "          [--workdir=DIR] [--fault-plan=SPEC] [--max-rounds=N]\n"
+      "          [run options] [--csv=PATH] [--json=PATH]\n"
       "          [--metrics-json=PATH]\n"
       "  Every value flag also accepts the space-separated form\n"
       "  (--shards 3). --threads=0 uses all hardware threads (default).\n"
@@ -140,8 +148,21 @@ int usage(const char* argv0, bool is_error) {
       "  shard trailers. --trace writes a Chrome trace-event timeline\n"
       "  (load in chrome://tracing or Perfetto). Neither changes any\n"
       "  aggregate or report byte. --version prints the schema versions\n"
-      "  this binary speaks.\n",
-      argv0, argv0, argv0);
+      "  this binary speaks.\n"
+      "  --chunks runs an explicit chunk-id set (a dispatcher re-deal)\n"
+      "  instead of the round-robin deal; the stream is written in\n"
+      "  repair mode. --fault-plan injects deterministic faults into\n"
+      "  this shard's stream (kill:I@C, trunc:I@BYTES, truncl:I@LINES,\n"
+      "  delay:I@WAVES, corrupt:I@LINE, comma-separated); a kill exits\n"
+      "  with status 70 after writing the truncated stream.\n"
+      "  --recover salvages the valid prefix of each (possibly\n"
+      "  truncated/corrupted/missing) stream, re-runs only the missing\n"
+      "  chunks in-process, and writes reports byte-identical to the\n"
+      "  serial run. --dispatch runs the whole campaign through the\n"
+      "  fault-tolerant dispatcher (thread executor, or process\n"
+      "  executor spawning this binary; --workdir, which must exist,\n"
+      "  holds the child streams).\n",
+      argv0, argv0, argv0, argv0, argv0);
   return is_error ? 1 : 0;
 }
 
@@ -182,13 +203,20 @@ int main(int argc, char** argv) {
   options.threads = 0;  // hardware concurrency
   std::string csv_path, json_path, bench_json_path, emit_chunks_path;
   std::string metrics_json_path, trace_path;
-  std::size_t shard_count = 0, shard_index = 0;
+  std::string fault_plan_spec, chunks_spec, executor_name = "thread";
+  std::string workdir;
+  std::size_t shard_count = 0, shard_index = 0, max_rounds = 4;
   bool have_shard_index = false, merge_mode = false, canonical = false;
   bool list_mode = false, list_json = false;
+  bool recover_mode = false, dispatch_mode = false;
   std::vector<std::string> merge_files;
   // First run-shaping flag seen, for the merge-mode conflict diagnostic
   // (merging replays recorded streams; a --seed there would be ignored).
   const char* run_flag = nullptr;
+  // Campaign-identity flags specifically: --recover takes identity from
+  // the salvaged headers, so these conflict there while --threads &co
+  // (which shape the repair execution) do not.
+  const char* identity_flag = nullptr;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -204,6 +232,20 @@ int main(int argc, char** argv) {
       trace_path = value;
     } else if (std::strcmp(arg, "--merge") == 0) {
       merge_mode = true;
+    } else if (std::strcmp(arg, "--recover") == 0) {
+      recover_mode = true;
+    } else if (std::strcmp(arg, "--dispatch") == 0) {
+      dispatch_mode = true;
+    } else if ((value = flag_value(arg, "--fault-plan", argc, argv, &i))) {
+      fault_plan_spec = value;
+    } else if ((value = flag_value(arg, "--chunks", argc, argv, &i))) {
+      chunks_spec = value;
+    } else if ((value = flag_value(arg, "--executor", argc, argv, &i))) {
+      executor_name = value;
+    } else if ((value = flag_value(arg, "--workdir", argc, argv, &i))) {
+      workdir = value;
+    } else if ((value = flag_value(arg, "--max-rounds", argc, argv, &i))) {
+      max_rounds = parse_u64(value, "--max-rounds");
     } else if (std::strcmp(arg, "--no-reuse") == 0) {
       options.reuse_deployments = false;
       run_flag = "--no-reuse";
@@ -217,19 +259,19 @@ int main(int argc, char** argv) {
       run_flag = "--snapshot-dir";
     } else if ((value = flag_value(arg, "--scenario", argc, argv, &i))) {
       scenario_name = value;
-      run_flag = "--scenario";
+      run_flag = identity_flag = "--scenario";
     } else if ((value = flag_value(arg, "--seed", argc, argv, &i))) {
       options.seed = parse_u64(value, "--seed");
-      run_flag = "--seed";
+      run_flag = identity_flag = "--seed";
     } else if ((value = flag_value(arg, "--trials", argc, argv, &i))) {
       options.trials_per_point = parse_u64(value, "--trials");
-      run_flag = "--trials";
+      run_flag = identity_flag = "--trials";
     } else if ((value = flag_value(arg, "--threads", argc, argv, &i))) {
       options.threads = static_cast<unsigned>(parse_u64(value, "--threads"));
       run_flag = "--threads";
     } else if ((value = flag_value(arg, "--chunk", argc, argv, &i))) {
       options.chunk_size = parse_u64(value, "--chunk");
-      run_flag = "--chunk";
+      run_flag = identity_flag = "--chunk";
     } else if ((value = flag_value(arg, "--shards", argc, argv, &i))) {
       shard_count = parse_u64(value, "--shards");
     } else if ((value = flag_value(arg, "--shard", argc, argv, &i))) {
@@ -247,7 +289,7 @@ int main(int argc, char** argv) {
       list_json = true;
     } else if ((value = flag_value(arg, "--bench-json", argc, argv, &i))) {
       bench_json_path = value;
-    } else if (arg[0] != '-' && merge_mode) {
+    } else if (arg[0] != '-' && (merge_mode || recover_mode)) {
       merge_files.push_back(arg);
     } else {
       return usage(argv[0], std::strcmp(arg, "--help") != 0);
@@ -271,6 +313,106 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--no-snapshot and --snapshot-dir contradict each other\n");
     return 1;
+  }
+
+  if (merge_mode + recover_mode + dispatch_mode > 1) {
+    std::fprintf(stderr,
+                 "--merge, --recover and --dispatch are mutually "
+                 "exclusive modes\n");
+    return 1;
+  }
+
+  // ---- recover mode: salvage partial streams, re-run what was lost ----
+  if (recover_mode) {
+    if (merge_files.empty()) {
+      std::fprintf(stderr,
+                   "--recover needs the chunk-stream files of the "
+                   "(possibly failed) shard runs\n");
+      return 1;
+    }
+    if (!bench_json_path.empty() || !emit_chunks_path.empty() ||
+        shard_count > 0 || have_shard_index || !trace_path.empty() ||
+        !fault_plan_spec.empty() || !chunks_spec.empty()) {
+      std::fprintf(stderr,
+                   "--recover folds existing streams and re-runs only "
+                   "missing chunks; it cannot be combined with "
+                   "--bench-json, --emit-chunks, --shards, --shard, "
+                   "--trace, --fault-plan or --chunks\n");
+      return 1;
+    }
+    if (identity_flag != nullptr) {
+      std::fprintf(stderr,
+                   "--recover takes the campaign identity from the "
+                   "salvaged headers — %s would be silently ignored; "
+                   "drop it (--threads/--no-reuse/--no-snapshot still "
+                   "shape the repair execution)\n",
+                   identity_flag);
+      return 1;
+    }
+    try {
+      std::vector<campaign::SalvagedStream> streams;
+      streams.reserve(merge_files.size());
+      for (const auto& path : merge_files) {
+        streams.push_back(campaign::salvage_chunk_stream_file(path));
+        const auto& s = streams.back();
+        if (s.complete) {
+          std::fprintf(stderr, "recover: %s: complete (%zu chunks)\n",
+                       path.c_str(), s.chunks.size());
+        } else {
+          std::fprintf(stderr, "recover: %s: salvaged %zu chunk(s) — %s\n",
+                       path.c_str(), s.chunks.size(),
+                       s.truncation_reason.c_str());
+        }
+      }
+      const campaign::SalvagedStream* first_valid = nullptr;
+      for (const auto& s : streams) {
+        if (s.header_valid) {
+          first_valid = &s;
+          break;
+        }
+      }
+      if (first_valid == nullptr) {
+        std::fprintf(stderr,
+                     "recover: no stream has a salvageable header\n");
+        return 1;
+      }
+      const campaign::Scenario* scenario =
+          campaign::find_scenario(first_valid->header.scenario);
+      if (!scenario) {
+        std::fprintf(stderr, "unknown scenario '%s' in %s\n",
+                     first_valid->header.scenario.c_str(),
+                     first_valid->source.c_str());
+        return 1;
+      }
+      campaign::DispatchReport drep;
+      const auto result =
+          campaign::recover_campaign(*scenario, options, streams, &drep);
+      campaign::print_summary(stdout, result);
+      std::printf("\n  recovered: %zu stream(s) complete, %zu dead, "
+                  "%zu chunk(s) re-dealt, %zu duplicate(s) suppressed\n",
+                  drep.streams_complete, drep.shards_dead,
+                  drep.chunks_redealt, drep.chunks_duplicate);
+      if (!csv_path.empty() &&
+          !campaign::write_file(csv_path, campaign::to_csv(result))) {
+        return 1;
+      }
+      if (!json_path.empty() &&
+          !campaign::write_file(json_path, campaign::to_json(result))) {
+        return 1;
+      }
+      if (!metrics_json_path.empty()) {
+        const std::string doc = campaign::metrics_report_json(
+            result.scenario.name, result.options.seed, drep.metrics.shards,
+            drep.metrics.threads,
+            static_cast<double>(drep.metrics.wall_ns) / 1e9,
+            drep.metrics.report);
+        if (!campaign::write_file(metrics_json_path, doc)) return 1;
+      }
+    } catch (const campaign::DispatchError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    return 0;
   }
 
   // ---- merge mode: fold shard chunk streams into canonical reports ----
@@ -353,12 +495,48 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--shard requires --shards=K\n");
     return 1;
   }
-  if (shard_count > 0 &&
-      (!have_shard_index || emit_chunks_path.empty())) {
+  if (dispatch_mode) {
+    if (shard_count == 0) {
+      std::fprintf(stderr, "--dispatch requires --shards=K\n");
+      return 1;
+    }
+    if (have_shard_index || !emit_chunks_path.empty() ||
+        !chunks_spec.empty() || !bench_json_path.empty() ||
+        !trace_path.empty()) {
+      std::fprintf(stderr,
+                   "--dispatch runs (and recovers) all K shards itself; "
+                   "it cannot be combined with --shard, --emit-chunks, "
+                   "--chunks, --bench-json or --trace\n");
+      return 1;
+    }
+    if (executor_name != "thread" && executor_name != "process") {
+      std::fprintf(stderr, "--executor must be 'thread' or 'process'\n");
+      return 1;
+    }
+    if (executor_name == "process" && workdir.empty()) {
+      std::fprintf(stderr,
+                   "--executor=process needs --workdir=DIR (an existing "
+                   "directory for the child shard streams)\n");
+      return 1;
+    }
+  } else if (shard_count > 0 &&
+             (!have_shard_index || emit_chunks_path.empty())) {
     std::fprintf(stderr,
                  "--shards needs both --shard=I and --emit-chunks=PATH "
                  "(a shard run only makes sense if its chunk stream is "
                  "kept for the merge)\n");
+    return 1;
+  }
+  if (!chunks_spec.empty() && shard_count == 0) {
+    std::fprintf(stderr,
+                 "--chunks re-runs an explicit chunk set as a repair "
+                 "stream; it needs --shards/--shard/--emit-chunks\n");
+    return 1;
+  }
+  if (!fault_plan_spec.empty() && shard_count == 0) {
+    std::fprintf(stderr,
+                 "--fault-plan injects faults into a shard run or a "
+                 "--dispatch campaign; it needs --shards\n");
     return 1;
   }
   if (shard_count > 0 && shard_index >= shard_count) {
@@ -423,15 +601,115 @@ int main(int argc, char** argv) {
   obs::TraceRecorder trace_recorder(static_cast<std::uint32_t>(shard_index));
   if (!trace_path.empty()) options.trace = &trace_recorder;
 
+  // ---- dispatch mode: all K shards through the recovering dispatcher ----
+  if (dispatch_mode) {
+    try {
+      campaign::FaultPlan faults;
+      if (!fault_plan_spec.empty()) {
+        faults = campaign::FaultPlan::parse(fault_plan_spec);
+      }
+      campaign::DispatchOptions dopt;
+      dopt.shard_count = shard_count;
+      dopt.max_rounds = max_rounds;
+      dopt.faults = faults;
+      campaign::DispatchReport drep;
+      campaign::CampaignResult result;
+      if (executor_name == "thread") {
+        campaign::ThreadExecutor ex(*scenario, options, faults);
+        result =
+            campaign::dispatch_campaign(*scenario, options, dopt, ex, &drep);
+      } else {
+        campaign::SubprocessExecutor ex(argv[0], workdir, scenario->name,
+                                        options, faults);
+        result =
+            campaign::dispatch_campaign(*scenario, options, dopt, ex, &drep);
+      }
+      campaign::print_summary(stdout, result);
+      std::printf("\n  dispatched %zu shard(s) (%s executor): %zu recovery "
+                  "round(s), %zu chunk(s) re-dealt, %zu duplicate(s) "
+                  "suppressed, %zu dead, %zu straggler(s), %zu repair "
+                  "task(s)\n",
+                  shard_count, executor_name.c_str(), drep.rounds,
+                  drep.chunks_redealt, drep.chunks_duplicate,
+                  drep.shards_dead, drep.shards_straggler,
+                  drep.tasks_retried);
+      if (!csv_path.empty() &&
+          !campaign::write_file(csv_path, campaign::to_csv(result))) {
+        return 1;
+      }
+      if (!json_path.empty() &&
+          !campaign::write_file(json_path, campaign::to_json(result))) {
+        return 1;
+      }
+      if (!metrics_json_path.empty()) {
+        const std::string doc = campaign::metrics_report_json(
+            result.scenario.name, result.options.seed, drep.metrics.shards,
+            drep.metrics.threads,
+            static_cast<double>(drep.metrics.wall_ns) / 1e9,
+            drep.metrics.report);
+        if (!campaign::write_file(metrics_json_path, doc)) return 1;
+      }
+    } catch (const campaign::DispatchError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
   // ---- shard mode: run this shard's chunks, write the stream ----
   if (shard_count > 0) {
     options.progress = true;  // run_sharded.py multiplexes these lines
-    const auto exec = campaign::run_campaign_shard(*scenario, options,
-                                                   shard_count, shard_index);
-    if (!campaign::write_file(
-            emit_chunks_path,
-            campaign::serialize_chunk_stream(*scenario, options, exec))) {
+    campaign::ShardPlan plan;
+    try {
+      if (chunks_spec.empty()) {
+        plan = campaign::plan_shard(*scenario, options, shard_count,
+                                    shard_index);
+      } else {
+        // Repair run: the explicit chunk ids a dispatcher re-dealt here.
+        std::vector<std::size_t> ids;
+        std::size_t start = 0;
+        while (start <= chunks_spec.size()) {
+          std::size_t end = chunks_spec.find(',', start);
+          if (end == std::string::npos) end = chunks_spec.size();
+          const std::string token = chunks_spec.substr(start, end - start);
+          if (!token.empty()) {
+            ids.push_back(parse_u64(token.c_str(), "--chunks"));
+          }
+          start = end + 1;
+        }
+        plan = campaign::make_repair_plan(*scenario, options, shard_count,
+                                          shard_index, ids);
+      }
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
       return 1;
+    }
+    const auto exec = campaign::run_campaign_chunks(*scenario, options,
+                                                    std::move(plan));
+    std::string stream_text =
+        campaign::serialize_chunk_stream(*scenario, options, exec);
+    bool fault_killed = false;
+    if (!fault_plan_spec.empty()) {
+      try {
+        const auto faults = campaign::FaultPlan::parse(fault_plan_spec);
+        stream_text = campaign::apply_stream_faults(
+            faults, shard_index, std::move(stream_text), &fault_killed);
+      } catch (const campaign::DispatchError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+      }
+    }
+    if (!campaign::write_file(emit_chunks_path, stream_text)) {
+      return 1;
+    }
+    if (fault_killed) {
+      // The injected crash: the truncated stream is on disk, the process
+      // dies with a distinctive status (EX_SOFTWARE) for the dispatcher
+      // and run_sharded.py to observe.
+      std::fprintf(stderr,
+                   "fault-plan: shard %zu killed (stream truncated)\n",
+                   shard_index);
+      return 70;
     }
     if (!metrics_json_path.empty() &&
         !campaign::write_file(

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "campaign/report.hpp"
+#include "phy/crc.hpp"
 #include "snapshot/state_io.hpp"
 
 namespace hs::campaign {
@@ -21,7 +22,31 @@ void append_hex_double(std::string& out, double v) {
   out += buf;
 }
 
-/// Strict scanner over one serialized line. Any deviation from the v1
+/// CRC-16/CCITT over the line as it reads without the crc field: the
+/// payload bytes up to the ',"crc"' suffix plus a closing '}'. The writer
+/// computes it over the complete v2-style line before splicing the crc
+/// field in; the parser reconstructs the same byte sequence.
+std::uint16_t line_crc(std::string_view payload_without_close) {
+  phy::Crc16 crc;
+  for (const char c : payload_without_close) {
+    crc.update(static_cast<std::uint8_t>(c));
+  }
+  crc.update(static_cast<std::uint8_t>('}'));
+  return crc.value();
+}
+
+/// Replaces a finished line's closing '}' with the checksum suffix:
+/// `{...}` -> `{...,"crc":"xxxx"}`.
+void seal_line(std::string& line) {
+  const std::uint16_t crc =
+      line_crc(std::string_view(line).substr(0, line.size() - 1));
+  char buf[24];
+  std::snprintf(buf, sizeof buf, ",\"crc\":\"%04x\"}", crc);
+  line.resize(line.size() - 1);
+  line += buf;
+}
+
+/// Strict scanner over one serialized line. Any deviation from the
 /// writer's byte layout fails with the source/line context — a truncated
 /// or hand-edited line cannot parse into a half-read record.
 class Scanner {
@@ -100,8 +125,31 @@ class Scanner {
     return v;
   }
 
-  void expect_end() {
+  /// The v3 line tail: `,"crc":"xxxx"}` then end of line. Verifies the
+  /// checksum over every payload byte scanned so far plus the closing
+  /// brace the v2 layout would have had — so a mutation anywhere in the
+  /// line, even one that still parses field-by-field, is rejected here.
+  void expect_crc_and_end() {
+    const std::size_t payload_end = pos_;
+    expect(",");
+    expect_key("crc");
+    const std::string hex = string_value();
+    expect("}");
     if (pos_ != s_.size()) fail("trailing bytes after record");
+    if (hex.size() != 4) fail("crc must be four hex digits");
+    char* end = nullptr;
+    const unsigned long got = std::strtoul(hex.c_str(), &end, 16);
+    if (end != hex.c_str() + hex.size()) {
+      fail("malformed crc '" + hex + "'");
+    }
+    const std::uint16_t want = line_crc(s_.substr(0, payload_end));
+    if (static_cast<std::uint16_t>(got) != want) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf,
+                    "crc mismatch (line says %04lx, payload is %04x)", got,
+                    want);
+      fail(buf);
+    }
   }
 
  private:
@@ -156,8 +204,17 @@ ChunkStreamHeader parse_header(std::string_view line,
   sc.expect(",");
   sc.expect_key("chunk_count");
   h.chunk_count = sc.u64_value();
-  sc.expect("}");
-  sc.expect_end();
+  sc.expect(",");
+  sc.expect_key("mode");
+  const std::string mode = sc.string_value();
+  if (mode == "deal") {
+    h.repair = false;
+  } else if (mode == "repair") {
+    h.repair = true;
+  } else {
+    sc.fail("mode must be 'deal' or 'repair', not '" + mode + "'");
+  }
+  sc.expect_crc_and_end();
 
   if (h.shard_count == 0) sc.fail("shard_count must be >= 1");
   if (h.shard_index >= h.shard_count) {
@@ -174,6 +231,7 @@ ChunkRecord parse_chunk_record(std::string_view line,
                                const ChunkStreamHeader& h) {
   Scanner sc(line, source, lineno);
   ChunkRecord rec;
+  rec.lineno = lineno;
   sc.expect("{");
   sc.expect_key("chunk");
   rec.ref.chunk_index = sc.u64_value();
@@ -225,15 +283,14 @@ ChunkRecord parse_chunk_record(std::string_view line,
       break;
     }
   }
-  sc.expect("}");
-  sc.expect_end();
+  sc.expect_crc_and_end();
 
   if (rec.ref.chunk_index >= h.total_chunks) {
     sc.fail("chunk id " + std::to_string(rec.ref.chunk_index) +
             " out of range (total_chunks " + std::to_string(h.total_chunks) +
             ")");
   }
-  if (rec.ref.chunk_index % h.shard_count != h.shard_index) {
+  if (!h.repair && rec.ref.chunk_index % h.shard_count != h.shard_index) {
     sc.fail("chunk id " + std::to_string(rec.ref.chunk_index) +
             " does not belong to shard " + std::to_string(h.shard_index) +
             "/" + std::to_string(h.shard_count));
@@ -247,9 +304,9 @@ ChunkRecord parse_chunk_record(std::string_view line,
   return rec;
 }
 
-/// The v2 metrics trailer is as strict as the records: fixed key order,
-/// every counter and phase present (enum order), nothing after the
-/// closing brace.
+/// The metrics trailer is as strict as the records: fixed key order,
+/// every counter and phase present (enum order), the line checksum, and
+/// nothing after the closing brace.
 ShardMetricsTrailer parse_metrics_trailer(std::string_view line,
                                           std::string_view source,
                                           std::size_t lineno) {
@@ -300,9 +357,20 @@ ShardMetricsTrailer parse_metrics_trailer(std::string_view line,
     sc.expect("}");
   }
   sc.expect("}");
-  sc.expect("}");
-  sc.expect_end();
+  sc.expect_crc_and_end();
   return t;
+}
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) break;  // caller handles the tail
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
 }
 
 }  // namespace
@@ -312,6 +380,7 @@ std::string serialize_chunk_stream(const Scenario& scenario,
                                    const ShardExecution& exec) {
   const ShardPlan& plan = exec.plan;
   std::string out;
+  std::string line;
   char buf[512];
   std::snprintf(buf, sizeof buf,
                 "{\"format\":\"hs-chunk-stream\",\"version\":%d,"
@@ -319,12 +388,16 @@ std::string serialize_chunk_stream(const Scenario& scenario,
                 ",\"trials_per_point\":%zu,\"chunk_size\":%zu,"
                 "\"shard_count\":%zu,\"shard_index\":%zu,"
                 "\"point_count\":%zu,\"total_chunks\":%zu,"
-                "\"chunk_count\":%zu}\n",
+                "\"chunk_count\":%zu,\"mode\":\"%s\"}",
                 kChunkStreamVersion, json_escape(scenario.name).c_str(),
                 options.seed, plan.trials_per_point, plan.chunk_size,
                 plan.shard_count, plan.shard_index, plan.point_count,
-                plan.total_chunks, plan.chunks.size());
-  out += buf;
+                plan.total_chunks, plan.chunks.size(),
+                plan.repair ? "repair" : "deal");
+  line = buf;
+  seal_line(line);
+  out += line;
+  out += '\n';
 
   for (std::size_t c = 0; c < plan.chunks.size(); ++c) {
     const ChunkRef& ref = plan.chunks[c];
@@ -333,31 +406,34 @@ std::string serialize_chunk_stream(const Scenario& scenario,
                   "\"trial_end\":%zu,\"metrics\":{",
                   ref.chunk_index, ref.point_index, ref.trial_begin,
                   ref.trial_end);
-    out += buf;
+    line = buf;
     bool first = true;
     for (std::size_t m = 0; m < kMetricCount; ++m) {
       const auto moments = exec.chunk_metrics[c][m].moments();
       if (moments.count == 0) continue;
-      if (!first) out += ',';
+      if (!first) line += ',';
       first = false;
-      out += '"';
-      out += metric_name(static_cast<Metric>(m));
-      out += "\":{\"count\":";
-      out += std::to_string(moments.count);
-      out += ",\"mean\":";
-      append_hex_double(out, moments.mean);
-      out += ",\"m2\":";
-      append_hex_double(out, moments.m2);
-      out += ",\"min\":";
-      append_hex_double(out, moments.min);
-      out += ",\"max\":";
-      append_hex_double(out, moments.max);
-      out += '}';
+      line += '"';
+      line += metric_name(static_cast<Metric>(m));
+      line += "\":{\"count\":";
+      line += std::to_string(moments.count);
+      line += ",\"mean\":";
+      append_hex_double(line, moments.mean);
+      line += ",\"m2\":";
+      append_hex_double(line, moments.m2);
+      line += ",\"min\":";
+      append_hex_double(line, moments.min);
+      line += ",\"max\":";
+      append_hex_double(line, moments.max);
+      line += '}';
     }
-    out += "}}\n";
+    line += "}}";
+    seal_line(line);
+    out += line;
+    out += '\n';
   }
 
-  // v2 trailer: the shard's merged observability report. Always written,
+  // Trailer: the shard's merged observability report. Always written,
   // every counter and phase in enum order, so the line layout (and the
   // strict parser above) never depends on what a run happened to count.
   std::snprintf(buf, sizeof buf,
@@ -365,26 +441,29 @@ std::string serialize_chunk_stream(const Scenario& scenario,
                 "\"wall_ns\":%" PRIu64 ",\"counters\":{",
                 obs::kMetricsVersion, exec.threads,
                 static_cast<std::uint64_t>(exec.wall_seconds * 1e9));
-  out += buf;
+  line = buf;
   for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
-    if (i > 0) out += ',';
-    out += '"';
-    out += obs::counter_name(static_cast<obs::Counter>(i));
-    out += "\":";
-    out += std::to_string(exec.metrics.counters[i]);
+    if (i > 0) line += ',';
+    line += '"';
+    line += obs::counter_name(static_cast<obs::Counter>(i));
+    line += "\":";
+    line += std::to_string(exec.metrics.counters[i]);
   }
-  out += "},\"phases\":{";
+  line += "},\"phases\":{";
   for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
-    if (i > 0) out += ',';
-    out += '"';
-    out += obs::phase_name(static_cast<obs::Phase>(i));
-    out += "\":{\"calls\":";
-    out += std::to_string(exec.metrics.phases[i].calls);
-    out += ",\"ns\":";
-    out += std::to_string(exec.metrics.phases[i].ns);
-    out += '}';
+    if (i > 0) line += ',';
+    line += '"';
+    line += obs::phase_name(static_cast<obs::Phase>(i));
+    line += "\":{\"calls\":";
+    line += std::to_string(exec.metrics.phases[i].calls);
+    line += ",\"ns\":";
+    line += std::to_string(exec.metrics.phases[i].ns);
+    line += '}';
   }
-  out += "}}\n";
+  line += "}}";
+  seal_line(line);
+  out += line;
+  out += '\n';
   return out;
 }
 
@@ -399,17 +478,12 @@ ChunkStream parse_chunk_stream(std::string_view text,
                            ": truncated stream (missing final newline)");
   }
 
-  std::vector<std::string_view> lines;
-  std::size_t start = 0;
-  while (start < text.size()) {
-    const std::size_t end = text.find('\n', start);
-    lines.push_back(text.substr(start, end - start));
-    start = end + 1;
-  }
+  const std::vector<std::string_view> lines = split_lines(text);
 
   ChunkStream stream;
+  stream.source = std::string(source);
   stream.header = parse_header(lines[0], source);
-  // v2 layout: header + chunk_count records + metrics trailer.
+  // Layout: header + chunk_count records + metrics trailer.
   if (lines.size() != 1 + stream.header.chunk_count + 1) {
     throw ChunkStreamError(
         "chunk-stream: " + std::string(source) + ": header promises " +
@@ -448,12 +522,116 @@ ChunkStream load_chunk_stream(const std::string& path) {
   return parse_chunk_stream(text, path);
 }
 
+SalvagedStream salvage_chunk_stream(std::string_view text,
+                                    std::string_view source) {
+  SalvagedStream out;
+  out.source = std::string(source);
+  if (text.empty()) {
+    out.truncation_reason = "empty stream";
+    return out;
+  }
+  // A missing final newline means the last line was cut mid-write; the
+  // complete lines before it are still candidates.
+  const bool clean_tail = text.back() == '\n';
+  const std::vector<std::string_view> lines = split_lines(text);
+  if (lines.empty()) {
+    out.truncation_reason = "no complete line";
+    return out;
+  }
+
+  try {
+    out.header = parse_header(lines[0], source);
+  } catch (const ChunkStreamError& e) {
+    out.truncation_reason = e.what();
+    return out;
+  }
+  out.header_valid = true;
+
+  // Accept records under exactly the strict rules; the first offending
+  // line ends the salvage. A line that parses as the trailer instead of
+  // a record ends record acceptance too (handled below).
+  const std::size_t record_lines =
+      std::min(lines.size() - 1, out.header.chunk_count);
+  std::size_t accepted = 0;
+  for (; accepted < record_lines; ++accepted) {
+    const std::size_t lineno = accepted + 2;
+    try {
+      ChunkRecord rec = parse_chunk_record(lines[accepted + 1], source,
+                                           lineno, out.header);
+      if (!out.chunks.empty() &&
+          rec.ref.chunk_index <= out.chunks.back().ref.chunk_index) {
+        out.truncation_reason =
+            "line " + std::to_string(lineno) +
+            ": duplicate or out-of-order chunk id " +
+            std::to_string(rec.ref.chunk_index);
+        return out;
+      }
+      out.chunks.push_back(std::move(rec));
+    } catch (const ChunkStreamError& e) {
+      out.truncation_reason = e.what();
+      return out;
+    }
+  }
+
+  // All promised records were valid; the stream is complete only if the
+  // trailer line follows, checks out, and nothing trails it.
+  if (accepted < out.header.chunk_count) {
+    out.truncation_reason =
+        "stream ends after " + std::to_string(accepted) + " of " +
+        std::to_string(out.header.chunk_count) + " promised records";
+    return out;
+  }
+  if (lines.size() < out.header.chunk_count + 2 || !clean_tail) {
+    out.truncation_reason = "metrics trailer missing or cut short";
+    return out;
+  }
+  if (lines.size() > out.header.chunk_count + 2) {
+    out.truncation_reason = "unexpected lines after the metrics trailer";
+    return out;
+  }
+  try {
+    out.trailer = parse_metrics_trailer(lines.back(), source, lines.size());
+  } catch (const ChunkStreamError& e) {
+    out.truncation_reason = e.what();
+    return out;
+  }
+  out.complete = true;
+  return out;
+}
+
+SalvagedStream salvage_chunk_stream_file(const std::string& path) {
+  std::string text;
+  switch (snapshot::read_whole_file(path, text)) {
+    case snapshot::FileReadStatus::kOpenFailed: {
+      SalvagedStream out;
+      out.source = path;
+      out.truncation_reason = "cannot open stream file";
+      return out;
+    }
+    case snapshot::FileReadStatus::kReadError: {
+      SalvagedStream out;
+      out.source = path;
+      out.truncation_reason = "error reading stream file";
+      return out;
+    }
+    case snapshot::FileReadStatus::kOk: break;
+  }
+  return salvage_chunk_stream(text, path);
+}
+
 CampaignResult merge_chunk_streams(const Scenario& scenario,
                                    const std::vector<ChunkStream>& streams,
                                    MergedMetrics* metrics) {
   if (streams.empty()) {
     throw ChunkStreamError("chunk-stream merge: no streams given");
   }
+  // Shard index + source + line locator for every merge diagnostic, so a
+  // rejected multi-gigabyte campaign names the record to look at instead
+  // of just failing.
+  const auto locate = [](const ChunkStream& s, std::size_t lineno) {
+    return "shard " + std::to_string(s.header.shard_index) + " (" +
+           s.source + ") line " + std::to_string(lineno);
+  };
   const ChunkStreamHeader& h0 = streams.front().header;
   if (h0.scenario != scenario.name) {
     throw ChunkStreamError("chunk-stream merge: stream is for scenario '" +
@@ -475,20 +653,30 @@ CampaignResult merge_chunk_streams(const Scenario& scenario,
   std::set<std::size_t> shard_indices;
   for (const ChunkStream& s : streams) {
     const ChunkStreamHeader& h = s.header;
+    if (h.repair) {
+      throw ChunkStreamError(
+          "chunk-stream merge: " + s.source + " is a repair stream (shard " +
+          std::to_string(h.shard_index) +
+          "); recovered campaigns merge through the dispatcher, not "
+          "--merge");
+    }
     if (h.scenario != h0.scenario || h.seed != h0.seed ||
         h.trials_per_point != h0.trials_per_point ||
         h.chunk_size != h0.chunk_size || h.shard_count != h0.shard_count ||
         h.point_count != h0.point_count ||
         h.total_chunks != h0.total_chunks) {
       throw ChunkStreamError(
-          "chunk-stream merge: stream headers disagree (scenario/seed/"
-          "trials_per_point/chunk_size/shard_count/point_count/"
-          "total_chunks must match across all shards)");
+          "chunk-stream merge: header of shard " +
+          std::to_string(h.shard_index) + " (" + s.source +
+          ") disagrees with shard " + std::to_string(h0.shard_index) + " (" +
+          streams.front().source +
+          ") (scenario/seed/trials_per_point/chunk_size/shard_count/"
+          "point_count/total_chunks must match across all shards)");
     }
     if (!shard_indices.insert(h.shard_index).second) {
       throw ChunkStreamError("chunk-stream merge: shard index " +
-                             std::to_string(h.shard_index) +
-                             " appears in more than one stream");
+                             std::to_string(h.shard_index) + " (" + s.source +
+                             ") appears in more than one stream");
     }
 
     // Re-derive this shard's plan from the scenario and reject any stream
@@ -501,13 +689,14 @@ CampaignResult merge_chunk_streams(const Scenario& scenario,
         plan.chunks.size() != s.chunks.size()) {
       throw ChunkStreamError(
           "chunk-stream merge: shard " + std::to_string(h.shard_index) +
-          " geometry disagrees with scenario '" + scenario.name + "'");
+          " (" + s.source + ") geometry disagrees with scenario '" +
+          scenario.name + "'");
     }
     for (std::size_t c = 0; c < plan.chunks.size(); ++c) {
       if (!(s.chunks[c].ref == plan.chunks[c])) {
         throw ChunkStreamError(
-            "chunk-stream merge: shard " + std::to_string(h.shard_index) +
-            " record " + std::to_string(c) +
+            "chunk-stream merge: " + locate(s, s.chunks[c].lineno) +
+            ": record " + std::to_string(c) +
             " does not match the planned chunk (id " +
             std::to_string(plan.chunks[c].chunk_index) + ")");
       }
@@ -516,13 +705,19 @@ CampaignResult merge_chunk_streams(const Scenario& scenario,
 
   // Every global chunk id exactly once across the shard set.
   std::vector<const ChunkRecord*> by_id(h0.total_chunks, nullptr);
+  std::vector<const ChunkStream*> owner(h0.total_chunks, nullptr);
   for (const ChunkStream& s : streams) {
     for (const ChunkRecord& rec : s.chunks) {
       if (by_id[rec.ref.chunk_index] != nullptr) {
-        throw ChunkStreamError("chunk-stream merge: duplicate chunk id " +
-                               std::to_string(rec.ref.chunk_index));
+        const ChunkRecord* first = by_id[rec.ref.chunk_index];
+        throw ChunkStreamError(
+            "chunk-stream merge: " + locate(s, rec.lineno) +
+            ": duplicate chunk id " + std::to_string(rec.ref.chunk_index) +
+            " (first seen at " +
+            locate(*owner[rec.ref.chunk_index], first->lineno) + ")");
       }
       by_id[rec.ref.chunk_index] = &rec;
+      owner[rec.ref.chunk_index] = &s;
     }
   }
   for (std::size_t id = 0; id < by_id.size(); ++id) {

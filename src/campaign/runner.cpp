@@ -474,12 +474,13 @@ std::vector<TrialSample> run_trial(const Scenario& scenario,
   return {};
 }
 
-ShardExecution run_campaign_shard(const Scenario& scenario,
-                                  const CampaignOptions& options,
-                                  std::size_t shard_count,
-                                  std::size_t shard_index) {
+ShardExecution run_campaign_chunks(const Scenario& scenario,
+                                   const CampaignOptions& options,
+                                   ShardPlan plan) {
   ShardExecution exec;
-  exec.plan = plan_shard(scenario, options, shard_count, shard_index);
+  exec.plan = std::move(plan);
+  const std::size_t shard_count = exec.plan.shard_count;
+  const std::size_t shard_index = exec.plan.shard_index;
   const std::vector<ChunkRef>& chunks = exec.plan.chunks;
   // Chunk-local accumulators: workers never share one, and the
   // deterministic chunk ids (not the thread schedule) define the final
@@ -657,6 +658,14 @@ ShardExecution run_campaign_shard(const Scenario& scenario,
   exec.snapshots_restored = snapshots_restored.load();
   exec.snapshots_saved = snapshots_saved.load();
   return exec;
+}
+
+ShardExecution run_campaign_shard(const Scenario& scenario,
+                                  const CampaignOptions& options,
+                                  std::size_t shard_count,
+                                  std::size_t shard_index) {
+  return run_campaign_chunks(
+      scenario, options, plan_shard(scenario, options, shard_count, shard_index));
 }
 
 CampaignResult run_campaign(const Scenario& scenario,

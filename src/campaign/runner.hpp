@@ -171,6 +171,16 @@ struct ShardExecution {
   obs::Report metrics;
 };
 
+/// Runs an explicit chunk plan on the work-stealing pool — the engine
+/// underneath both the round-robin shard path and the dispatcher's
+/// repair tasks (make_repair_plan). Chunk ids, not the plan's provenance,
+/// key every trial seed and accumulator, so a chunk executed by a repair
+/// task is bit-identical to the same chunk executed by its original
+/// shard.
+ShardExecution run_campaign_chunks(const Scenario& scenario,
+                                   const CampaignOptions& options,
+                                   ShardPlan plan);
+
 /// Runs shard `shard_index` of `shard_count` on the work-stealing pool.
 /// (shard_count, shard_index) = (1, 0) executes the whole campaign —
 /// run_campaign is exactly that plus the fixed-order chunk merge.

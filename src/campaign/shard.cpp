@@ -45,4 +45,47 @@ ShardPlan plan_shard(const Scenario& scenario, const CampaignOptions& options,
   return plan;
 }
 
+ShardPlan make_repair_plan(const Scenario& scenario,
+                           const CampaignOptions& options,
+                           std::size_t shard_count, std::size_t shard_index,
+                           const std::vector<std::size_t>& chunk_ids) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("make_repair_plan: shard_count must be >= 1");
+  }
+  if (shard_index >= shard_count) {
+    throw std::invalid_argument(
+        "make_repair_plan: shard_index must be < shard_count");
+  }
+  // Enumerate every chunk once (shard 0 of 1 holds the full list), then
+  // select the requested ids — the repair chunks are exactly the chunks
+  // the original deal would have produced, only re-owned.
+  const ShardPlan all = plan_shard(scenario, options, 1, 0);
+
+  ShardPlan plan;
+  plan.shard_count = shard_count;
+  plan.shard_index = shard_index;
+  plan.point_count = all.point_count;
+  plan.trials_per_point = all.trials_per_point;
+  plan.chunk_size = all.chunk_size;
+  plan.total_chunks = all.total_chunks;
+  plan.repair = true;
+
+  std::vector<std::size_t> ids = chunk_ids;
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] >= all.total_chunks) {
+      throw std::invalid_argument(
+          "make_repair_plan: chunk id " + std::to_string(ids[i]) +
+          " out of range (total_chunks " + std::to_string(all.total_chunks) +
+          ")");
+    }
+    if (i > 0 && ids[i] == ids[i - 1]) {
+      throw std::invalid_argument("make_repair_plan: duplicate chunk id " +
+                                  std::to_string(ids[i]));
+    }
+    plan.chunks.push_back(all.chunks[ids[i]]);
+  }
+  return plan;
+}
+
 }  // namespace hs::campaign

@@ -42,6 +42,10 @@ struct ShardPlan {
   std::size_t chunk_size = 1;        ///< resolved (clamped to >= 1)
   std::size_t total_chunks = 0;      ///< across ALL shards
   std::vector<ChunkRef> chunks;      ///< this shard's chunks, ascending ids
+  /// True for a plan carrying an explicit chunk set (a dispatcher
+  /// re-deal; see make_repair_plan) rather than the round-robin deal.
+  /// Serialized as the chunk-stream header's "mode" field.
+  bool repair = false;
 };
 
 /// Trials per point after applying the scenario default.
@@ -54,5 +58,16 @@ std::size_t resolved_trials(const Scenario& scenario,
 /// shard_count == 0 or shard_index >= shard_count.
 ShardPlan plan_shard(const Scenario& scenario, const CampaignOptions& options,
                      std::size_t shard_count, std::size_t shard_index);
+
+/// Plans a repair task: the explicit `chunk_ids` out of the same global
+/// enumeration plan_shard uses, sorted ascending. The plan keeps the
+/// original campaign geometry (shard_count/shard_index label which worker
+/// slot runs the repair) but sets `repair` so its stream skips the
+/// round-robin membership rule. Throws std::invalid_argument for an
+/// out-of-range or duplicate chunk id.
+ShardPlan make_repair_plan(const Scenario& scenario,
+                           const CampaignOptions& options,
+                           std::size_t shard_count, std::size_t shard_index,
+                           const std::vector<std::size_t>& chunk_ids);
 
 }  // namespace hs::campaign

@@ -16,6 +16,11 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "deployments_reused",
     "snapshots_restored",
     "snapshots_saved",
+    "chunks_redealt",
+    "chunks_duplicate",
+    "shards_dead",
+    "shards_straggler",
+    "tasks_retried",
 };
 
 constexpr std::array<std::string_view, kPhaseCount> kPhaseNames = {

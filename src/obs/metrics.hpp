@@ -39,8 +39,10 @@
 namespace hs::obs {
 
 /// Schema version of the metrics report (--metrics-json document and the
-/// chunk-stream metrics trailer).
-inline constexpr int kMetricsVersion = 1;
+/// chunk-stream metrics trailer). v2 added the fault-tolerant dispatch
+/// counters (chunks_redealt, chunks_duplicate, shards_dead,
+/// shards_straggler, tasks_retried).
+inline constexpr int kMetricsVersion = 2;
 
 enum class Counter : unsigned {
   kTrials,
@@ -50,6 +52,20 @@ enum class Counter : unsigned {
   kDeploymentsReused,
   kSnapshotsRestored,
   kSnapshotsSaved,
+  /// Chunks whose original shard lost them (dead/straggler/corrupt) and
+  /// that the dispatcher handed to a repair task (src/campaign/dispatch).
+  kChunksRedealt,
+  /// Chunk records that arrived more than once (a straggler finishing
+  /// after its chunks were re-dealt) and were suppressed before the merge.
+  kChunksDuplicate,
+  /// Shard tasks whose stream never completed (killed / truncated /
+  /// corrupt past salvage).
+  kShardsDead,
+  /// Shard tasks whose results arrived only after their chunks had been
+  /// re-dealt.
+  kShardsStraggler,
+  /// Repair tasks launched by the recovery loop.
+  kTasksRetried,
   kCount_,
 };
 inline constexpr std::size_t kCounterCount =

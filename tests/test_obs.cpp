@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "campaign/scenario.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "phy/crc.hpp"
 
 namespace hs::obs {
 namespace {
@@ -185,6 +187,26 @@ Scenario shrunk(const char* preset, std::vector<double> axis_values,
   return out;
 }
 
+/// Recomputes the crc field of the line containing `at`, so a forgery
+/// reaches the semantic checks instead of dying at the CRC.
+std::string reseal_containing_line(std::string text, std::size_t at) {
+  const std::size_t begin = text.rfind('\n', at) + 1;
+  std::size_t end = text.find('\n', at);
+  if (end == std::string::npos) end = text.size();
+  const std::size_t crc_at = text.rfind(",\"crc\":\"", end);
+  EXPECT_NE(crc_at, std::string::npos);
+  EXPECT_GE(crc_at, begin);
+  phy::Crc16 crc;
+  for (std::size_t i = begin; i < crc_at; ++i) {
+    crc.update(static_cast<std::uint8_t>(text[i]));
+  }
+  crc.update(static_cast<std::uint8_t>('}'));
+  char buf[24];
+  std::snprintf(buf, sizeof buf, ",\"crc\":\"%04x\"}", crc.value());
+  text.replace(crc_at, end - crc_at, buf);
+  return text;
+}
+
 TEST(ObsCampaign, MetricsOnAndOffReportsAreByteIdentical) {
   // The acceptance gate: canonical CSV/JSON must not change by a byte
   // whether counters/timers/tracing are on or off, across experiment
@@ -309,7 +331,7 @@ TEST(ObsCampaign, MetricsJsonWellFormedAndVersioned) {
       s.name, opt.seed, 1, result.options.threads, result.wall_seconds,
       result.metrics);
   EXPECT_NE(doc.find("\"format\": \"hs-metrics\""), std::string::npos);
-  EXPECT_NE(doc.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"version\": 2"), std::string::npos);
   EXPECT_NE(doc.find("\"counters\""), std::string::npos);
   EXPECT_NE(doc.find("\"phases\""), std::string::npos);
   // Every counter and phase name appears.
@@ -344,11 +366,13 @@ TEST(ObsCampaign, TruncatedTrailerIsRejected) {
   EXPECT_THROW(parse_chunk_stream(text.substr(0, tpos), "no-trailer"),
                ChunkStreamError);
 
-  // Corrupt the trailer version.
+  // Corrupt the trailer version (resealed, so the version check — not
+  // the CRC — does the rejecting).
   std::string forged = text;
-  const std::size_t vpos = forged.find("\"version\":1", tpos);
+  const std::size_t vpos = forged.find("\"version\":2", tpos);
   ASSERT_NE(vpos, std::string::npos);
   forged.replace(vpos, 11, "\"version\":9");
+  forged = reseal_containing_line(std::move(forged), vpos);
   EXPECT_THROW(parse_chunk_stream(forged, "bad-trailer-version"),
                ChunkStreamError);
 }

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdio>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,9 +21,39 @@
 #include "campaign/runner.hpp"
 #include "campaign/scenario.hpp"
 #include "campaign/shard.hpp"
+#include "phy/crc.hpp"
 
 namespace hs::campaign {
 namespace {
+
+/// Recomputes line `lineno` (1-based)'s crc field after tampering, so a
+/// forgery reaches the semantic checks instead of dying at the CRC.
+std::string reseal_line(const std::string& text, std::size_t lineno) {
+  std::vector<std::string> ls;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    ls.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  EXPECT_GE(ls.size(), lineno);
+  std::string& line = ls[lineno - 1];
+  const std::size_t crc_at = line.rfind(",\"crc\":\"");
+  EXPECT_NE(crc_at, std::string::npos);
+  std::string payload = line.substr(0, crc_at);
+  phy::Crc16 crc;
+  for (char c : payload) crc.update(static_cast<std::uint8_t>(c));
+  crc.update(static_cast<std::uint8_t>('}'));
+  char buf[24];
+  std::snprintf(buf, sizeof buf, ",\"crc\":\"%04x\"}", crc.value());
+  line = payload + buf;
+  std::string out;
+  for (const auto& l : ls) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
 
 /// A preset shrunk to a test-sized sweep: the genuine trial code paths,
 /// milliseconds per trial.
@@ -260,7 +292,8 @@ TEST_F(ChunkStreamCorruption, RejectsDuplicateChunkIds) {
 
 TEST_F(ChunkStreamCorruption, RejectsVersionAndFormatMismatch) {
   std::string forged = text_;
-  forged.replace(forged.find("\"version\":2"), 11, "\"version\":9");
+  forged.replace(forged.find("\"version\":3"), 11, "\"version\":9");
+  forged = reseal_line(forged, 1);
   EXPECT_THROW(parse_chunk_stream(forged, "v9"), ChunkStreamError);
 
   std::string not_ours = text_;
@@ -317,6 +350,180 @@ TEST_F(ChunkStreamCorruption, MergeRejectsMismatchedStreams) {
 
   // Nothing at all.
   EXPECT_THROW(merge_chunk_streams(scenario_, {}), ChunkStreamError);
+}
+
+TEST_F(ChunkStreamCorruption, SalvageOfCompleteStreamEqualsStrictParse) {
+  const ChunkStream strict = parse_chunk_stream(text_, "strict");
+  const SalvagedStream s = salvage_chunk_stream(text_, "salvage");
+  EXPECT_TRUE(s.header_valid);
+  EXPECT_TRUE(s.complete);
+  EXPECT_TRUE(s.truncation_reason.empty());
+  EXPECT_EQ(s.header.chunk_count, strict.header.chunk_count);
+  EXPECT_EQ(s.header.seed, strict.header.seed);
+  ASSERT_EQ(s.chunks.size(), strict.chunks.size());
+  for (std::size_t c = 0; c < s.chunks.size(); ++c) {
+    EXPECT_EQ(s.chunks[c].ref, strict.chunks[c].ref);
+  }
+  EXPECT_EQ(s.trailer.threads, strict.trailer.threads);
+  EXPECT_EQ(s.trailer.report, strict.trailer.report);
+}
+
+/// The salvage prefix property every recovery path leans on: whatever
+/// salvage accepts is bit-equal to a prefix of the intact stream's
+/// records — never a record the strict parser would reject, never a
+/// reordered or altered one.
+void expect_valid_prefix(const SalvagedStream& s, const ChunkStream& full) {
+  ASSERT_LE(s.chunks.size(), full.chunks.size());
+  for (std::size_t c = 0; c < s.chunks.size(); ++c) {
+    ASSERT_EQ(s.chunks[c].ref, full.chunks[c].ref);
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      const auto want = full.chunks[c].metrics[m].moments();
+      const auto got = s.chunks[c].metrics[m].moments();
+      ASSERT_EQ(want.count, got.count);
+      ASSERT_EQ(want.mean, got.mean);
+      ASSERT_EQ(want.m2, got.m2);
+      ASSERT_EQ(want.min, got.min);
+      ASSERT_EQ(want.max, got.max);
+    }
+  }
+  if (s.header_valid) {
+    ASSERT_EQ(s.header.seed, full.header.seed);
+    ASSERT_EQ(s.header.chunk_count, full.header.chunk_count);
+  }
+}
+
+TEST_F(ChunkStreamCorruption, SalvageEveryByteTruncationIsValidPrefix) {
+  const ChunkStream full = parse_chunk_stream(text_, "full");
+  for (std::size_t cut = 0; cut < text_.size(); ++cut) {
+    const SalvagedStream s =
+        salvage_chunk_stream(text_.substr(0, cut), "cut");
+    ASSERT_FALSE(s.complete) << "cut at byte " << cut;
+    ASSERT_FALSE(s.truncation_reason.empty()) << "cut at byte " << cut;
+    expect_valid_prefix(s, full);
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "at truncation point " << cut;
+    }
+  }
+}
+
+TEST_F(ChunkStreamCorruption, SalvageEverySingleByteCorruptionIsCaught) {
+  const ChunkStream full = parse_chunk_stream(text_, "full");
+  // Exhaustive single-bit pass: the CRC (and the structural checks) must
+  // catch a flip at EVERY byte position — complete is never claimed and
+  // no non-prefix chunk ever survives.
+  for (std::size_t pos = 0; pos < text_.size(); ++pos) {
+    std::string mutated = text_;
+    mutated[pos] ^= 0x01;
+    const SalvagedStream s = salvage_chunk_stream(mutated, "flip");
+    ASSERT_FALSE(s.complete) << "flip at byte " << pos;
+    expect_valid_prefix(s, full);
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "at corrupted byte " << pos;
+    }
+  }
+  // Randomized pass: arbitrary single-byte rewrites (any value, any
+  // position, including newline bytes that shear the line structure).
+  std::mt19937_64 rng(0xC0FFEE);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t pos = rng() % text_.size();
+    const char replacement = static_cast<char>(rng() & 0xFF);
+    if (replacement == text_[pos]) continue;
+    std::string mutated = text_;
+    mutated[pos] = replacement;
+    const SalvagedStream s = salvage_chunk_stream(mutated, "mut");
+    ASSERT_FALSE(s.complete) << "rewrite at byte " << pos;
+    expect_valid_prefix(s, full);
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "at rewritten byte " << pos << " iteration " << i;
+    }
+  }
+}
+
+TEST_F(ChunkStreamCorruption, SalvageRandomDoubleFaultsStayValidPrefixes) {
+  // Truncation stacked on corruption — the nastier realistic shape (a
+  // process died mid-write after a disk hiccup).
+  const ChunkStream full = parse_chunk_stream(text_, "full");
+  std::mt19937_64 rng(0xBADF00D);
+  for (int i = 0; i < 1000; ++i) {
+    std::string mutated = text_;
+    mutated[rng() % mutated.size()] ^= static_cast<char>(1 + rng() % 255);
+    mutated.resize(rng() % (mutated.size() + 1));
+    const SalvagedStream s = salvage_chunk_stream(mutated, "double");
+    ASSERT_FALSE(s.complete);
+    expect_valid_prefix(s, full);
+    if (::testing::Test::HasFatalFailure()) FAIL() << "iteration " << i;
+  }
+}
+
+TEST_F(ChunkStreamCorruption, MergeErrorsNameShardSourceAndLine) {
+  // A record whose trial window disagrees with the recomputed plan:
+  // CRC-valid (resealed), in-range, but not the chunk the plan says
+  // belongs there. The rejection must say which shard, stream and line.
+  const auto exec0 = run_campaign_shard(scenario_, opt_, 2, 0);
+  std::string text0 = serialize_chunk_stream(scenario_, opt_, exec0);
+  // Shard 0 of 2, chunk_size 1, 6 trials: records are ids 0,2,4 with
+  // windows (0,1),(2,3),(4,5) on lines 2,3,4. Shift line 3's window.
+  const std::size_t at = text0.find("\"trial_begin\":2,\"trial_end\":3");
+  ASSERT_NE(at, std::string::npos);
+  text0.replace(at, 29, "\"trial_begin\":3,\"trial_end\":4");
+  text0 = reseal_line(text0, 3);
+
+  std::vector<ChunkStream> streams;
+  streams.push_back(parse_chunk_stream(text0, "shard-zero.jsonl"));
+  streams.push_back(parse_chunk_stream(
+      serialize_chunk_stream(scenario_, opt_,
+                             run_campaign_shard(scenario_, opt_, 2, 1)),
+      "shard-one.jsonl"));
+  try {
+    merge_chunk_streams(scenario_, streams);
+    FAIL() << "tampered record must not merge";
+  } catch (const ChunkStreamError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("shard-zero.jsonl"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+
+  // Header disagreement names both shards and both sources.
+  CampaignOptions other = opt_;
+  other.seed = opt_.seed + 1;
+  std::vector<ChunkStream> mixed;
+  mixed.push_back(parse_chunk_stream(
+      serialize_chunk_stream(scenario_, opt_,
+                             run_campaign_shard(scenario_, opt_, 2, 0)),
+      "seed-a.jsonl"));
+  mixed.push_back(parse_chunk_stream(
+      serialize_chunk_stream(scenario_, other,
+                             run_campaign_shard(scenario_, other, 2, 1)),
+      "seed-b.jsonl"));
+  try {
+    merge_chunk_streams(scenario_, mixed);
+    FAIL() << "seed mismatch must not merge";
+  } catch (const ChunkStreamError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("seed-b.jsonl"), std::string::npos) << what;
+    EXPECT_NE(what.find("seed-a.jsonl"), std::string::npos) << what;
+  }
+}
+
+TEST_F(ChunkStreamCorruption, MergeRejectsRepairStreams) {
+  // A repair stream (explicit chunk set from a dispatcher re-deal) is
+  // valid on its own but must not enter the strict K-stream merge — the
+  // dispatcher's recovery merge owns that path.
+  const ShardPlan repair = make_repair_plan(scenario_, opt_, 1, 0, {1, 3});
+  EXPECT_TRUE(repair.repair);
+  const auto exec = run_campaign_chunks(scenario_, opt_, repair);
+  const ChunkStream stream = parse_chunk_stream(
+      serialize_chunk_stream(scenario_, opt_, exec), "repair.jsonl");
+  EXPECT_TRUE(stream.header.repair);
+  try {
+    merge_chunk_streams(scenario_, {stream});
+    FAIL() << "repair stream must not merge";
+  } catch (const ChunkStreamError& e) {
+    EXPECT_NE(std::string(e.what()).find("repair"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(WorkStealing, Fig9AggregatesAndAccountingStableUnderStress) {

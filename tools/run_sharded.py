@@ -27,6 +27,19 @@ byte-identical with or without snapshots.
 --canonical) and byte-compares its reports against the merged ones,
 exiting non-zero on any difference.
 
+--inject SPEC injects deterministic faults into the shard processes
+(forwarded as `campaign_runner --fault-plan`; see docs/REPRODUCING.md
+"Fault tolerance"). SPEC is comma-separated `kind:shard@arg` — e.g.
+`kill:1@3` makes shard 1 die (exit 70) after its 3rd chunk record,
+`trunc:0@140` / `truncl:2@4` cut shard 0/2's stream at a byte/line, and
+`corrupt:0@5` flips a byte of line 5. With --inject, shard processes may
+legitimately fail, and the fold step switches from the strict
+`--merge` to `--recover`: each stream is salvaged to its valid prefix
+and the missing chunks are re-executed in-process, so the recovered
+reports are still byte-identical to the serial run (pair with --verify
+to prove it). `delay:` faults are delivery faults of the in-process
+dispatcher and have no effect here, where every stream is a file.
+
 --metrics-json PATH has the merge step aggregate the K shards' metrics
 trailers (counters + phase timers, summed) into one hs-metrics document
 and turns each shard's phase timers on (per-shard documents land next to
@@ -90,6 +103,10 @@ def main():
                          "no shard ever runs a cold warm-up")
     ap.add_argument("--verify", action="store_true",
                     help="byte-compare merged reports against a serial run")
+    ap.add_argument("--inject", default="", metavar="SPEC",
+                    help="fault plan injected into the shard processes "
+                         "(kind:shard@arg,... — see --fault-plan); folds "
+                         "with --recover instead of --merge")
     ap.add_argument("--metrics-json", default="", metavar="PATH",
                     help="aggregate the shards' metrics trailers into one "
                          "hs-metrics document at the merge step")
@@ -135,6 +152,10 @@ def main():
     for i, stream in enumerate(streams):
         cmd = [str(runner), *common, f"--shards={args.shards}",
                f"--shard={i}", f"--emit-chunks={stream}"]
+        if args.inject:
+            # Every shard gets the full plan and applies only its own
+            # faults; a killed shard exits 70 with a truncated stream.
+            cmd.append(f"--fault-plan={args.inject}")
         if args.metrics_json:
             # Per-shard metrics documents ride along; requesting them also
             # turns the shard's phase timers on, so the trailer the merge
@@ -151,20 +172,27 @@ def main():
     failed = [cmd for cmd, p in procs if p.wait() != 0]
     for pump in pumps:
         pump.join(timeout=5)
-    if failed:
+    if failed and not args.inject:
         sys.exit("run_sharded: shard process(es) failed:\n  " +
                  "\n  ".join(" ".join(c) for c in failed))
+    if failed:
+        # Injected faults legitimately kill shards (exit 70); recovery
+        # below re-deals whatever their streams lost.
+        print(f"run_sharded: {len(failed)} shard(s) failed under --inject "
+              f"{args.inject!r}; recovering", file=sys.stderr)
 
-    # --- merge ------------------------------------------------------------
-    merge_cmd = [str(runner), "--merge", *map(str, streams)]
+    # --- fold: strict merge, or salvage + recover under fault injection ---
+    fold = "--recover" if args.inject else "--merge"
+    merge_cmd = [str(runner), fold, *map(str, streams)]
     csv_path = args.csv or str(outdir / "merged.csv")
     json_path = args.json or str(outdir / "merged.json")
     merge_cmd += [f"--csv={csv_path}", f"--json={json_path}"]
     if args.metrics_json:
         merge_cmd.append(f"--metrics-json={args.metrics_json}")
-    run_checked(merge_cmd, "merge")
+    run_checked(merge_cmd, fold.lstrip("-"))
     wall = time.monotonic() - t0
-    print(f"run_sharded: {args.shards} shard(s) + merge in {wall:.2f}s")
+    print(f"run_sharded: {args.shards} shard(s) + {fold.lstrip('-')} "
+          f"in {wall:.2f}s")
 
     # --- optional serial byte-comparison ----------------------------------
     if args.verify:
