@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -102,7 +103,10 @@ void print_versions(std::FILE* out) {
 }
 
 int usage(const char* argv0, bool is_error) {
-  std::printf(
+  // Help goes to stdout (it was asked for); an unknown flag's usage dump
+  // goes to stderr so it cannot pollute piped CSV/JSON output.
+  std::fprintf(
+      is_error ? stderr : stdout,
       "usage: %s [--list [--json]] [--scenario=NAME] [--seed=N]\n"
       "          [--trials=N] [--threads=N] [--chunk=N] [--no-reuse]\n"
       "          [--no-snapshot] [--snapshot-dir=DIR] [--canonical]\n"
@@ -183,16 +187,30 @@ const char* flag_value(const char* arg, const char* name, int argc,
 }
 
 /// strtoull with a full-consumption check: garbage or overflow is a hard
-/// error, never a silent zero.
+/// error, never a silent zero. Signs are rejected up front — strtoull
+/// happily parses "-5" and wraps it to 2^64-5, which would turn a typo'd
+/// seed into a silently different campaign.
 std::uint64_t parse_u64(const char* value, const char* flag) {
   char* end = nullptr;
   errno = 0;
   const std::uint64_t v = std::strtoull(value, &end, 10);
-  if (value[0] == '\0' || *end != '\0' || errno == ERANGE) {
+  if (value[0] == '\0' || value[0] == '-' || value[0] == '+' ||
+      *end != '\0' || errno == ERANGE) {
     std::fprintf(stderr, "invalid numeric value '%s' for %s\n", value, flag);
     std::exit(1);
   }
   return v;
+}
+
+/// parse_u64 bounded to values that survive a cast to `unsigned`
+/// (--threads): out-of-range is a hard error, not a silent truncation.
+unsigned parse_u32(const char* value, const char* flag) {
+  const std::uint64_t v = parse_u64(value, flag);
+  if (v > std::numeric_limits<unsigned>::max()) {
+    std::fprintf(stderr, "value '%s' out of range for %s\n", value, flag);
+    std::exit(1);
+  }
+  return static_cast<unsigned>(v);
 }
 
 }  // namespace
@@ -267,7 +285,7 @@ int main(int argc, char** argv) {
       options.trials_per_point = parse_u64(value, "--trials");
       run_flag = identity_flag = "--trials";
     } else if ((value = flag_value(arg, "--threads", argc, argv, &i))) {
-      options.threads = static_cast<unsigned>(parse_u64(value, "--threads"));
+      options.threads = parse_u32(value, "--threads");
       run_flag = "--threads";
     } else if ((value = flag_value(arg, "--chunk", argc, argv, &i))) {
       options.chunk_size = parse_u64(value, "--chunk");
@@ -315,7 +333,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (merge_mode + recover_mode + dispatch_mode > 1) {
+  const int mode_count = (merge_mode ? 1 : 0) + (recover_mode ? 1 : 0) +
+                         (dispatch_mode ? 1 : 0);
+  if (mode_count > 1) {
     std::fprintf(stderr,
                  "--merge, --recover and --dispatch are mutually "
                  "exclusive modes\n");

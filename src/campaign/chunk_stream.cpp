@@ -15,7 +15,10 @@ namespace hs::campaign {
 namespace {
 
 /// Hex-float text ("%a"): the exact bits of the double, so parse(print(x))
-/// reproduces x with no decimal rounding anywhere.
+/// reproduces x with no decimal rounding anywhere. The determinism
+/// linter's float-format rule forces every round-tripping double in
+/// this file through here; std::to_string stays allowlisted in
+/// LINT.toml for integer ids and diagnostics only.
 void append_hex_double(std::string& out, double v) {
   char buf[48];
   std::snprintf(buf, sizeof buf, "\"%a\"", v);

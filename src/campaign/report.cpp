@@ -27,6 +27,10 @@ std::string csv_field(std::string_view field) {
   return out;
 }
 
+// Decimal %.9g formatting is allowlisted in LINT.toml (float-format):
+// these reports are terminal — byte-compared by the determinism checks
+// but never re-parsed into moments. Values that must round-trip exactly
+// travel as %a hex-floats in chunk_stream.cpp instead.
 void append_row_metrics(std::string& out, const PointResult& point,
                         Metric metric, const std::string& prefix,
                         const std::string& suffix) {

@@ -638,6 +638,9 @@ ShardExecution run_campaign_chunks(const Scenario& scenario,
     snapshots_saved.fetch_add(pool.snapshots_saved());
   };
 
+  // steady_clock here is allowlisted in LINT.toml (steady-clock-scope):
+  // it measures wall_seconds for the perf report only — never a trial,
+  // and --canonical zeroes it out of byte-compared output.
   const auto t0 = std::chrono::steady_clock::now();
   if (thread_count <= 1) {
     worker(0);

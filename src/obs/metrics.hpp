@@ -197,6 +197,10 @@ inline void count(Counter c, std::uint64_t n = 1) {
 
 /// RAII phase timer. Reads the clock only when the attached thread has
 /// timers enabled; otherwise costs one thread-local read and a branch.
+///
+/// steady_clock use is allowlisted in LINT.toml (steady-clock-scope):
+/// phase timings are observability output by design (invariant 1 above)
+/// and never reach campaign aggregates.
 class ScopedTimer {
  public:
   explicit ScopedTimer(Phase phase) {

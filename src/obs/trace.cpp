@@ -57,6 +57,10 @@ void TraceRecorder::add(std::vector<TraceEvent>& events) {
   events.clear();
 }
 
+// steady_clock and the %.3f timestamp rendering below are allowlisted
+// in LINT.toml (steady-clock-scope, float-format): trace timestamps
+// label the timeline for humans and are excluded from every
+// byte-identity comparison.
 std::uint64_t TraceRecorder::now_ns() const {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -333,6 +333,10 @@ void FskReceiver::compact_buffer(std::size_t keep_from) {
   buffer_.erase_front(drop);
   buffer_base_ += drop;
   scan_pos_ = (scan_pos_ >= drop) ? scan_pos_ - drop : 0;
+  // Unordered iteration is deliberate and safe here (LINT.toml
+  // unordered-iteration allow entry): the predicate depends only on the
+  // key, so the pruned set — and every later lookup — is independent of
+  // bucket visit order. See the audit note on corr_cache_'s declaration.
   std::erase_if(corr_cache_, [this](const auto& entry) {
     return entry.first < buffer_base_;
   });

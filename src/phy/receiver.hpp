@@ -134,6 +134,14 @@ class FskReceiver {
   /// during noise-floor adaptation runs, so reusing the exact values
   /// halves the receiver's dominant cost without changing a single
   /// decision. Pruned on buffer compaction.
+  ///
+  /// Ordering audit (determinism linter: unordered-iteration allow
+  /// entry in LINT.toml): the only iteration is the erase_if prune in
+  /// compact_buffer(), which removes entries by a pure key predicate
+  /// (lag < buffer_base_). The surviving *set* is identical whatever
+  /// order the buckets are visited in, values are never read during the
+  /// sweep, and cached values are bit-identical to recomputation — so
+  /// bucket order cannot reach any decision or output byte.
   mutable std::unordered_map<std::size_t, double> corr_cache_;
   std::size_t total_consumed_ = 0;
   std::size_t scan_pos_ = 0;  ///< buffer-relative scan cursor when unlocked

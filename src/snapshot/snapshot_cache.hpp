@@ -66,6 +66,12 @@ class SnapshotCache {
 
   std::string dir_;
   mutable std::mutex mutex_;
+  // Ordering audit (determinism linter: unordered-in-serializer allow
+  // entry in LINT.toml): docs_ is keyed by content digest and accessed
+  // exclusively through find()/emplace() — it is never iterated, so its
+  // bucket order can never reach a report, stream, or snapshot byte.
+  // If you add iteration (e.g. an eviction sweep), switch to std::map
+  // or sort the keys first, and update LINT.toml.
   std::unordered_map<std::string, std::shared_ptr<const StateDoc>> docs_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;

@@ -172,6 +172,9 @@ void StateWriter::line(char tag, std::string_view key,
 void StateWriter::begin(std::string_view section) { line('(', section, {}); }
 void StateWriter::end(std::string_view section) { line(')', section, {}); }
 
+// std::to_string below is allowlisted in LINT.toml
+// (to-string-serializer): every use is integer-only (exact in decimal);
+// doubles go through the '%a' hex-float path in f64().
 void StateWriter::u64(std::string_view key, std::uint64_t v) {
   line('u', key, std::to_string(v));
 }
