@@ -30,6 +30,7 @@
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/scenario.hpp"
+#include "dsp/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "snapshot/state_io.hpp"
@@ -829,6 +830,15 @@ int main(int argc, char** argv) {
     obs_options.metrics_timers = true;
     const auto obs_run = campaign::run_campaign(*scenario, obs_options);
 
+    // The SIMD self-check leg: the serial campaign once more with kernel
+    // dispatch pinned to the scalar reference loops. Every vector backend
+    // promises bit-identical results to the scalar reference, so these
+    // aggregates must match the serial leg exactly.
+    const dsp::kernels::Backend bench_backend = dsp::kernels::active_backend();
+    dsp::kernels::set_backend(dsp::kernels::Backend::kScalar);
+    const auto scalar_run = campaign::run_campaign(*scenario, serial_options);
+    dsp::kernels::set_backend(bench_backend);
+
     // Determinism self-checks: the work-stealing pool must not change
     // aggregates (1 vs N threads), neither may deployment reuse
     // (reset-and-reseeded deployments vs freshly constructed ones), and
@@ -857,6 +867,13 @@ int main(int argc, char** argv) {
                    "aggregates differ\n");
       return 1;
     }
+    if (!aggregates_identical(scalar_run, serial)) {
+      std::fprintf(stderr,
+                   "FATAL: %s-backend and scalar-reference kernel "
+                   "aggregates differ\n",
+                   dsp::kernels::backend_name(bench_backend));
+      return 1;
+    }
     if (warm.snapshots_restored == 0 &&
         campaign::experiment_uses_deployments(scenario->kind)) {
       // Pure-DSP kinds (spectrum/wideband/multipath) legitimately never
@@ -878,6 +895,9 @@ int main(int argc, char** argv) {
                 warm.snapshots_restored, warm.snapshots_saved);
     std::printf("  determinism: metrics instrumentation bit-identical to "
                 "uninstrumented run\n");
+    std::printf("  determinism: %s kernel backend bit-identical to scalar "
+                "reference\n",
+                dsp::kernels::backend_name(bench_backend));
     std::printf("  no-reuse %.1f trials/s, reuse %.1f trials/s "
                 "(%zu built + %zu reused), warm %.1f trials/s, "
                 "parallel %.1f trials/s, instrumented %.1f trials/s\n",

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <string_view>
 
+#include "dsp/kernels.hpp"
+
 namespace hs::campaign {
 
 namespace {
@@ -293,6 +295,7 @@ std::string perf_snapshot_json(const CampaignResult& serial_no_reuse,
       "  \"seed\": %" PRIu64 ",\n"
       "  \"total_trials\": %zu,\n"
       "  \"hardware_threads\": %u,\n"
+      "  \"simd_backend\": \"%s\",\n"
       "  \"serial_no_reuse\": {\"threads\": 1, \"wall_seconds\": %.6f, "
       "\"trials_per_second\": %.3f},\n"
       "  \"serial\": {\"threads\": 1, \"wall_seconds\": %.6f, "
@@ -310,6 +313,7 @@ std::string perf_snapshot_json(const CampaignResult& serial_no_reuse,
       "  \"speedup\": %.3f",
       serial_no_reuse.scenario.name.c_str(), serial_no_reuse.options.seed,
       serial_no_reuse.total_trials, hardware_threads,
+      dsp::kernels::backend_name(dsp::kernels::active_backend()),
       serial_no_reuse.wall_seconds,
       serial_no_reuse.trials_per_second(), serial_reuse.wall_seconds,
       serial_reuse.trials_per_second(), serial_reuse.deployments_built,

@@ -57,7 +57,10 @@ std::string metrics_report_json(const std::string& scenario_name,
 /// on top of it, `thread_speedup` the worker-pool win on top of both.
 /// `hardware_threads` records what std::thread::hardware_concurrency()
 /// reported, so a snapshot taken on a small machine is self-describing
-/// (a 1-hardware-thread box cannot show thread_speedup > 1).
+/// (a 1-hardware-thread box cannot show thread_speedup > 1). The
+/// "simd_backend" field records which DSP kernel backend
+/// (dsp::kernels::active_backend()) produced the timings, so scalar,
+/// SSE2 and AVX2 snapshots are distinguishable after the fact.
 /// `obs_run`, when given, is a fifth leg identical to `warm` but with
 /// phase timers enabled: the snapshot gains an "obs" section, an
 /// "obs_overhead" ratio (obs wall / warm wall — the acceptance gate is

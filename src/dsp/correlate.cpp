@@ -52,20 +52,31 @@ std::vector<double> normalized_correlation(SampleView signal,
   for (cplx r : reference) ref_energy += std::norm(r);
   if (ref_energy <= 0.0) return std::vector<double>(lags, 0.0);
 
-  // Running local energy of the signal window.
+  // Running local energy of the signal window. The O(1) sliding update
+  // (+= entering sample, -= leaving sample) accumulates rounding error
+  // without bound on long high-dynamic-range signals — after a loud burst
+  // the residual can dwarf a quiet tail's true energy and even go
+  // negative (masked into the 1e-30 floor, collapsing the denominator).
+  // Recomputing the window exactly every reference.size() lags bounds the
+  // drift to one window's worth of updates. The SoA overload below uses
+  // the same cadence and accumulation order, keeping the two overloads
+  // bit-identical.
   double win_energy = 0.0;
-  for (std::size_t i = 0; i < reference.size(); ++i) {
-    win_energy += std::norm(signal[i]);
-  }
   std::vector<double> out(lags);
   for (std::size_t k = 0; k < lags; ++k) {
+    if (k % reference.size() == 0) {
+      win_energy = 0.0;
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        win_energy += std::norm(signal[k + i]);
+      }
+    }
     cplx acc{};
     for (std::size_t i = 0; i < reference.size(); ++i) {
       acc += signal[k + i] * std::conj(reference[i]);
     }
     const double denom = std::sqrt(ref_energy * std::max(win_energy, 1e-30));
     out[k] = std::abs(acc) / denom;
-    if (k + 1 < lags) {
+    if (k + 1 < lags && (k + 1) % reference.size() != 0) {
       win_energy += std::norm(signal[k + reference.size()]);
       win_energy -= std::norm(signal[k]);
     }
@@ -92,14 +103,21 @@ std::vector<double> normalized_correlation(SoaView signal,
       plane_energy(reference.re, reference.im, reference.size());
   if (ref_energy <= 0.0) return std::vector<double>(lags, 0.0);
 
-  double win_energy = plane_energy(signal.re, signal.im, reference.size());
+  // Same periodic exact recompute cadence as the AoS overload above (see
+  // the drift note there); plane_energy accumulates in the same order as
+  // std::norm over the AoS samples, so the overloads stay bit-identical.
+  double win_energy = 0.0;
   std::vector<double> out(lags);
   for (std::size_t k = 0; k < lags; ++k) {
+    if (k % reference.size() == 0) {
+      win_energy =
+          plane_energy(signal.re + k, signal.im + k, reference.size());
+    }
     const cplx acc = dot_conj(signal.re + k, signal.im + k, reference.re,
                               reference.im, reference.size());
     const double denom = std::sqrt(ref_energy * std::max(win_energy, 1e-30));
     out[k] = std::abs(acc) / denom;
-    if (k + 1 < lags) {
+    if (k + 1 < lags && (k + 1) % reference.size() != 0) {
       const std::size_t next = k + reference.size();
       win_energy +=
           signal.re[next] * signal.re[next] + signal.im[next] * signal.im[next];

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/kernels.hpp"
 #include "dsp/window.hpp"
 #include "snapshot/state_io.hpp"
 
@@ -20,7 +21,9 @@ double sinc(double x) {
 
 std::vector<double> design_lowpass(double normalized_cutoff,
                                    std::size_t taps) {
-  if (normalized_cutoff <= 0.0 || normalized_cutoff >= 0.5) {
+  // NaN fails every ordered comparison, so test for the valid range and
+  // negate — a NaN cutoff (e.g. 0.0/0.0 upstream) must not slip through.
+  if (!(normalized_cutoff > 0.0 && normalized_cutoff < 0.5)) {
     throw std::invalid_argument("design_lowpass: cutoff must be in (0, 0.5)");
   }
   if (taps % 2 == 0) {
@@ -42,6 +45,16 @@ std::vector<double> design_lowpass(double normalized_cutoff,
 
 Samples design_bandpass(double center_hz, double half_width_hz, double fs,
                         std::size_t taps) {
+  // Validate here rather than relying on design_lowpass: fs <= 0 (or NaN)
+  // would turn half_width_hz/fs into a nonsense cutoff with an error
+  // message pointing at the wrong function.
+  if (!(fs > 0.0)) {
+    throw std::invalid_argument("design_bandpass: fs must be positive");
+  }
+  if (!(half_width_hz > 0.0)) {
+    throw std::invalid_argument(
+        "design_bandpass: half_width_hz must be positive");
+  }
   const auto lp = design_lowpass(half_width_hz / fs, taps);
   Samples h(taps);
   const double m = static_cast<double>(taps - 1) / 2.0;
@@ -128,18 +141,9 @@ void FirFilter::process(SoaView in, SoaSamples& out) {
   out.resize(base + m);
   double* ore = out.re() + base;
   double* oim = out.im() + base;
-  const double* tp = taps_.data();
   const double* xr = ext_re_.data();
   const double* xi = ext_im_.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    double ar = 0.0, ai = 0.0;
-    for (std::size_t k = 0; k < t; ++k) {
-      ar += tp[k] * xr[hist + i - k];
-      ai += tp[k] * xi[hist + i - k];
-    }
-    ore[i] = ar;
-    oim[i] = ai;
-  }
+  kernels::fir_block_real(taps_.data(), t, xr, xi, ore, oim, m);
   // Streaming-state writeback, identical to what m scalar calls leave.
   // Values come from the ext_ scratch (which holds the whole block and
   // cannot dangle) rather than `in`, belt-and-braces against callers
@@ -251,21 +255,10 @@ void ComplexFirFilter::process(SoaView in, SoaSamples& out) {
   out.resize(base + m);
   double* ore = out.re() + base;
   double* oim = out.im() + base;
-  const double* tr = tap_re_.data();
-  const double* ti = tap_im_.data();
   const double* xr = ext_re_.data();
   const double* xi = ext_im_.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    double ar = 0.0, ai = 0.0;
-    for (std::size_t k = 0; k < t; ++k) {
-      const double vr = xr[hist + i - k];
-      const double vi = xi[hist + i - k];
-      ar += tr[k] * vr - ti[k] * vi;
-      ai += tr[k] * vi + ti[k] * vr;
-    }
-    ore[i] = ar;
-    oim[i] = ai;
-  }
+  kernels::fir_block_cplx(tap_re_.data(), tap_im_.data(), t, xr, xi, ore,
+                          oim, m);
   for (std::size_t i = m - std::min(t, m); i < m; ++i) {
     history_[(pos_ + i) % t] = {xr[hist + i], xi[hist + i]};
   }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/kernels.hpp"
+
 namespace hs::phy {
 
 using dsp::cplx;
@@ -62,7 +64,13 @@ NoncoherentFskDemod::NoncoherentFskDemod(const FskParams& params)
       tone0_(make_tone_reference(params.f0, params)),
       tone1_(make_tone_reference(params.f1, params)),
       tone0_soa_(dsp::to_soa(tone0_)),
-      tone1_soa_(dsp::to_soa(tone1_)) {}
+      tone1_soa_(dsp::to_soa(tone1_)),
+      tone_a_(4 * params.sps),
+      tone_b_(4 * params.sps) {
+  dsp::kernels::pack_dual_tones(tone0_soa_.re(), tone0_soa_.im(),
+                                tone1_soa_.re(), tone1_soa_.im(), params.sps,
+                                tone_a_.data(), tone_b_.data());
+}
 
 std::uint8_t NoncoherentFskDemod::demod_symbol(dsp::SampleView rx,
                                                std::size_t offset,
@@ -81,23 +89,14 @@ std::uint8_t NoncoherentFskDemod::demod_symbol(dsp::SampleView rx,
 std::uint8_t NoncoherentFskDemod::demod_symbol(dsp::SoaView rx,
                                                std::size_t offset,
                                                double* metric) const {
-  const double* xr = rx.re + offset;
-  const double* xi = rx.im + offset;
-  const double* t0r = tone0_soa_.re();
-  const double* t0i = tone0_soa_.im();
-  const double* t1r = tone1_soa_.re();
-  const double* t1i = tone1_soa_.im();
-  // x * tone expanded exactly as -fcx-limited-range compiles the complex
-  // multiply in the AoS overload; four independent accumulation chains
-  // over six contiguous planes.
-  double c0r = 0.0, c0i = 0.0, c1r = 0.0, c1i = 0.0;
-  for (std::size_t i = 0; i < params_.sps; ++i) {
-    c0r += xr[i] * t0r[i] - xi[i] * t0i[i];
-    c0i += xr[i] * t0i[i] + xi[i] * t0r[i];
-    c1r += xr[i] * t1r[i] - xi[i] * t1i[i];
-    c1i += xr[i] * t1i[i] + xi[i] * t1r[i];
-  }
-  const double m = std::abs(cplx(c1r, c1i)) - std::abs(cplx(c0r, c0i));
+  // Both tone correlations in one packed MAC over the buffer planes and
+  // the pre-interleaved tone planes (see dsp::kernels::pack_dual_tones);
+  // bit-identical to the AoS overload's -fcx-limited-range expansion.
+  const dsp::kernels::DualToneAccum acc = dsp::kernels::dual_tone_mac(
+      rx.re + offset, rx.im + offset, tone_a_.data(), tone_b_.data(),
+      params_.sps);
+  const double m = std::abs(cplx(acc.c1_re, acc.c1_im)) -
+                   std::abs(cplx(acc.c0_re, acc.c0_im));
   if (metric != nullptr) *metric = m;
   return m > 0.0 ? 1 : 0;
 }

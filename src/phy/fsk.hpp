@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "dsp/types.hpp"
 #include "phy/bits.hpp"
@@ -89,6 +90,11 @@ class NoncoherentFskDemod {
   dsp::Samples tone1_;
   dsp::SoaSamples tone0_soa_;  // split copies of the references
   dsp::SoaSamples tone1_soa_;
+  // Both tone references interleaved into the dsp::kernels::dual_tone_mac
+  // layout (4 doubles per sample, imaginary parts pre-negated in tone_b_)
+  // so the SoA demod hot path is a single packed MAC kernel call.
+  std::vector<double> tone_a_;
+  std::vector<double> tone_b_;
 };
 
 /// Coherent 2-FSK demodulator (uses the complex channel estimate `h` to

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "dsp/correlate.hpp"
+#include "dsp/kernels.hpp"
 #include "dsp/power.hpp"
 #include "obs/metrics.hpp"
 #include "snapshot/state_io.hpp"
@@ -102,7 +103,7 @@ void FskReceiver::scan_after_append() {
 std::optional<ReceivedFrame> FskReceiver::pop() {
   if (output_.empty()) return std::nullopt;
   ReceivedFrame f = std::move(output_.front());
-  output_.erase(output_.begin());
+  output_.pop_front();  // O(1): output_ is a deque precisely for this
   return f;
 }
 
@@ -111,7 +112,7 @@ double FskReceiver::correlation_at(std::size_t lag) const {
   if (const auto it = corr_cache_.find(abs_lag); it != corr_cache_.end()) {
     return it->second;
   }
-  // Segmented (noncoherent) correlation: the reference is split into a few
+  // Segmented (noncoherent) correlation: the reference is split into 6
   // segments whose partial correlations are combined by magnitude. A
   // residual carrier-frequency offset rotates the phase across the
   // reference; fully coherent correlation would collapse beyond ~130 Hz,
@@ -119,53 +120,12 @@ double FskReceiver::correlation_at(std::size_t lag) const {
   // (several hundred Hz) at a negligible noise penalty.
   //
   // This is the receiver's hot loop (every power step on the medium pays a
-  // full sweep of these), so each segment runs 4 independent accumulator
-  // lanes the compiler can vectorize; the lanes and the split real/imag
-  // arithmetic change only last-ulp rounding versus a single sequential
-  // accumulator.
-  constexpr std::size_t kSegments = 6;
-  constexpr std::size_t kLanes = 4;
-  const std::size_t ref = sync_waveform_.size();
-  const std::size_t seg = ref / kSegments;
-  const double* sig_re = buffer_.re() + lag;
-  const double* sig_im = buffer_.im() + lag;
-  const double* ref_re = sync_soa_.re();
-  const double* ref_im = sync_soa_.im();
-  double acc_mag = 0.0;
-  double sig_energy = 0.0;
-  for (std::size_t s = 0; s < kSegments; ++s) {
-    const std::size_t from = s * seg;
-    const std::size_t to = (s + 1 == kSegments) ? ref : from + seg;
-    double acc_re[kLanes] = {};
-    double acc_im[kLanes] = {};
-    double energy[kLanes] = {};
-    std::size_t i = from;
-    for (; i + kLanes <= to; i += kLanes) {
-      for (std::size_t l = 0; l < kLanes; ++l) {
-        const double br = sig_re[i + l];
-        const double bi = sig_im[i + l];
-        const double rr = ref_re[i + l];
-        const double ri = ref_im[i + l];
-        // b * conj(r)
-        acc_re[l] += br * rr + bi * ri;
-        acc_im[l] += bi * rr - br * ri;
-        energy[l] += br * br + bi * bi;
-      }
-    }
-    for (; i < to; ++i) {
-      const double br = sig_re[i];
-      const double bi = sig_im[i];
-      acc_re[0] += br * ref_re[i] + bi * ref_im[i];
-      acc_im[0] += bi * ref_re[i] - br * ref_im[i];
-      energy[0] += br * br + bi * bi;
-    }
-    const double re = (acc_re[0] + acc_re[1]) + (acc_re[2] + acc_re[3]);
-    const double im = (acc_im[0] + acc_im[1]) + (acc_im[2] + acc_im[3]);
-    acc_mag += std::sqrt(re * re + im * im);
-    sig_energy += (energy[0] + energy[1]) + (energy[2] + energy[3]);
-  }
-  const double corr =
-      acc_mag / std::sqrt(std::max(sig_energy * ref_energy_, 1e-30));
+  // full sweep of these); the segment/lane arithmetic lives in
+  // dsp::kernels so it can dispatch to real vector instructions while the
+  // scalar reference stays pinned bit-for-bit.
+  const double corr = dsp::kernels::segmented_sync_correlation(
+      buffer_.re() + lag, buffer_.im() + lag, sync_soa_.re(), sync_soa_.im(),
+      sync_waveform_.size(), ref_energy_);
   corr_cache_.emplace(abs_lag, corr);
   return corr;
 }
@@ -423,7 +383,6 @@ void FskReceiver::load_state(snapshot::StateReader& r) {
   next_symbol_ = r.u64("next_symbol");
   const std::uint64_t frames = r.u64("output");
   output_.clear();
-  output_.reserve(frames);
   for (std::uint64_t i = 0; i < frames; ++i) {
     output_.push_back(load_received_frame(r));
   }

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <optional>
 #include <unordered_map>
@@ -151,7 +152,9 @@ class FskReceiver {
   BitVec partial_bits_;
   std::size_t next_symbol_ = 0;  ///< symbols demodulated so far in lock
 
-  std::vector<ReceivedFrame> output_;
+  // Deque: pop() trims the front per received frame while run() appends;
+  // vector::erase(begin()) made that O(frames in flight).
+  std::deque<ReceivedFrame> output_;
 };
 
 }  // namespace hs::phy

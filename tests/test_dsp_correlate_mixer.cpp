@@ -61,6 +61,42 @@ TEST(Correlate, CrossCorrelateValues) {
   EXPECT_NEAR(xc[1].real(), 5.0, 1e-12);
 }
 
+// Regression: the sliding win_energy update used to accumulate rounding
+// error without bound; after a loud burst the residual dwarfed a quiet
+// tail's true window energy and corrupted every later lag's denominator.
+// The fix recomputes the window exactly every reference.size() lags, so
+// each lag must now match a per-lag exact reference within tight relative
+// error — across six orders of magnitude of signal dynamic range — and
+// the AoS and SoA overloads must stay bit-identical.
+TEST(Correlate, WindowEnergyDoesNotDriftOverHighDynamicRangeSignal) {
+  const std::size_t ref_len = 64;
+  const auto ref = random_signal(ref_len, 7);
+  Samples sig = random_signal(4096, 8);
+  // Loud leading burst, then a very quiet tail.
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    sig[i] *= (i < 512) ? 1e6 : 1e-6;
+  }
+  const auto aos = normalized_correlation(sig, ref);
+  const SoaSamples sig_soa = to_soa(sig);
+  const SoaSamples ref_soa = to_soa(ref);
+  const auto soa = normalized_correlation(sig_soa.view(), ref_soa.view());
+  ASSERT_EQ(aos.size(), soa.size());
+  double ref_energy = 0.0;
+  for (cplx r : ref) ref_energy += std::norm(r);
+  for (std::size_t k = 0; k < aos.size(); ++k) {
+    EXPECT_EQ(aos[k], soa[k]) << "lag " << k;
+    cplx acc{};
+    double win = 0.0;
+    for (std::size_t i = 0; i < ref_len; ++i) {
+      acc += sig[k + i] * std::conj(ref[i]);
+      win += std::norm(sig[k + i]);
+    }
+    const double exact =
+        std::abs(acc) / std::sqrt(ref_energy * std::max(win, 1e-30));
+    EXPECT_NEAR(aos[k], exact, 1e-9 * std::max(exact, 1.0)) << "lag " << k;
+  }
+}
+
 TEST(EstimateFlatChannel, RecoversGain) {
   const auto ref = random_signal(256, 7);
   const cplx h(0.01, -0.02);

@@ -53,6 +53,26 @@ TEST(FirDesign, LowpassRejectsBadArgs) {
   EXPECT_THROW(design_lowpass(0.0, 31), std::invalid_argument);
   EXPECT_THROW(design_lowpass(0.5, 31), std::invalid_argument);
   EXPECT_THROW(design_lowpass(0.2, 32), std::invalid_argument);
+  // NaN fails every ordered comparison, so the old `<= 0 || >= 0.5` range
+  // check silently accepted it and designed a filter of NaNs.
+  EXPECT_THROW(design_lowpass(std::nan(""), 31), std::invalid_argument);
+}
+
+TEST(FirDesign, BandpassRejectsBadRates) {
+  // fs <= 0 used to reach design_lowpass as a nonsense (or NaN: 0/0)
+  // cutoff; design_bandpass now validates its own arguments with its own
+  // error message.
+  EXPECT_THROW(design_bandpass(50e3, 20e3, 0.0, 101), std::invalid_argument);
+  EXPECT_THROW(design_bandpass(50e3, 20e3, -1.0, 101),
+               std::invalid_argument);
+  EXPECT_THROW(design_bandpass(50e3, 20e3, std::nan(""), 101),
+               std::invalid_argument);
+  EXPECT_THROW(design_bandpass(50e3, 0.0, 300e3, 101),
+               std::invalid_argument);
+  EXPECT_THROW(design_bandpass(50e3, -5e3, 300e3, 101),
+               std::invalid_argument);
+  EXPECT_THROW(design_bandpass(50e3, std::nan(""), 300e3, 101),
+               std::invalid_argument);
 }
 
 TEST(FirDesign, LowpassPassesPassbandRejectsStopband) {

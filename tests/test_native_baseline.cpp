@@ -1,0 +1,99 @@
+// Numeric baseline for the opt-in HS_NATIVE build flavor.
+//
+// The default build's outputs are byte-pinned (canonical CSV/JSON identity
+// tests); HS_NATIVE (-march=native -ffp-contract=fast) deliberately trades
+// that for host-tuned codegen, so its gate is this tolerance-based
+// baseline instead: shrunk campaigns over the genuine trial code paths
+// whose per-point metric means must stay within a physically meaningful
+// band of the default build's pinned values. Rounding drift moves these
+// by ~1e-15 relative per op (plus occasional borderline bit decisions);
+// the tolerances below are orders of magnitude above that but far below
+// any real regression (a broken kernel, a sign flip, NaN poisoning).
+//
+// The suite also runs in the default build, where every comparison is
+// exact-by-construction — so the pins themselves cannot rot unnoticed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/scenario.hpp"
+
+namespace hs::campaign {
+namespace {
+
+Scenario shrunk(const char* preset, std::vector<double> axis_values,
+                std::size_t units_per_trial) {
+  const Scenario* s = find_scenario(preset);
+  EXPECT_NE(s, nullptr) << preset;
+  Scenario out = *s;
+  if (!axis_values.empty()) out.axis_values = std::move(axis_values);
+  out.units_per_trial = units_per_trial;
+  return out;
+}
+
+struct Pin {
+  const char* scenario;
+  std::size_t point;
+  const char* metric;
+  double mean;       // default-build value (seed 1, shrunk sweeps below)
+  double tolerance;  // absolute band HS_NATIVE must stay inside
+};
+
+// Regenerate with the default build if a behavior-changing PR moves the
+// exact values (the default-build run of this suite will say so):
+// run the shrunk sweeps below at seed 1 and paste the new means.
+const Pin kPins[] = {
+    {"fig9-eaves-ber", 0, "adversary_ber", 0.48309748427672949, 0.05},
+    {"fig9-eaves-ber", 0, "shield_packet_loss", 0.0, 0.05},
+    {"fig9-eaves-ber", 1, "adversary_ber", 0.49056603773584906, 0.05},
+    {"fig9-eaves-ber", 1, "shield_packet_loss", 0.0, 0.05},
+    {"fig5-jam-shaped", 0, "tone_band_fraction", 0.91525394134746518, 0.02},
+};
+
+CampaignResult run_shrunk(const Scenario& s, std::size_t trials) {
+  CampaignOptions opt;
+  opt.seed = 1;
+  opt.trials_per_point = trials;
+  opt.threads = 1;
+  return run_campaign(s, opt);
+}
+
+void check_pins(const Scenario& s, const CampaignResult& res) {
+  for (const Pin& pin : kPins) {
+    if (s.name != pin.scenario) continue;
+    Metric m{};
+    ASSERT_TRUE(metric_from_name(pin.metric, &m)) << pin.metric;
+    ASSERT_LT(pin.point, res.points.size());
+    const double got =
+        res.points[pin.point].metrics[static_cast<std::size_t>(m)].mean();
+    EXPECT_TRUE(std::isfinite(got))
+        << s.name << " point " << pin.point << " " << pin.metric;
+    EXPECT_NEAR(got, pin.mean, pin.tolerance)
+        << s.name << " point " << pin.point << " " << pin.metric
+        << " drifted outside the flavor baseline";
+#if !defined(HS_NATIVE)
+    // Default build: the pins are exact by construction; a mismatch here
+    // means a PR changed behavior and the table needs regenerating.
+    EXPECT_EQ(got, pin.mean)
+        << s.name << " point " << pin.point << " " << pin.metric
+        << " — default build moved; regenerate the pin table";
+#endif
+  }
+}
+
+TEST(NativeBaseline, EavesdropBerWithinFlavorBand) {
+  const Scenario s = shrunk("fig9-eaves-ber", {3.0, 11.0}, 1);
+  check_pins(s, run_shrunk(s, 6));
+}
+
+TEST(NativeBaseline, ShapedJammingSpectrumWithinFlavorBand) {
+  const Scenario s = shrunk("fig5-jam-shaped", {}, 1);
+  check_pins(s, run_shrunk(s, 4));
+}
+
+}  // namespace
+}  // namespace hs::campaign

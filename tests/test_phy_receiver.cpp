@@ -3,6 +3,7 @@
 #include "dsp/rng.hpp"
 #include "dsp/units.hpp"
 #include "phy/receiver.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace hs::phy {
 namespace {
@@ -112,6 +113,52 @@ TEST(Receiver, BackToBackFramesBothDecoded) {
   ASSERT_TRUE(f2.has_value());
   EXPECT_EQ(f1->decode.frame.seq, 1);
   EXPECT_EQ(f2->decode.frame.seq, 2);
+}
+
+// output_ is a deque (pop() used to be vector::erase(begin()), O(frames in
+// flight)): a burst of frames must still drain strictly FIFO, and a
+// snapshot taken with frames queued must document and restore them in
+// order — the save format (count + per-frame records) is unchanged.
+TEST(Receiver, BurstOfFramesDrainsFifoAndSnapshotsWithQueueIntact) {
+  FskParams fsk;
+  const std::size_t frame_gap = 6200;
+  const std::size_t count = 5;
+  std::initializer_list<std::pair<std::size_t, Frame>> placed = {
+      {1000, test_frame(1)},          {1000 + frame_gap, test_frame(2)},
+      {1000 + 2 * frame_gap, test_frame(3)},
+      {1000 + 3 * frame_gap, test_frame(4)},
+      {1000 + 4 * frame_gap, test_frame(5)}};
+  const auto air = make_air(fsk, 1000 + 5 * frame_gap + 4000, placed,
+                            dsp::db_to_amplitude(-40), dsp::dbm_to_mw(-112));
+  FskReceiver rx(fsk);
+  rx.push(air);
+
+  // Snapshot while all frames are still queued, then drain both receivers
+  // and require identical FIFO order.
+  snapshot::StateWriter w;
+  rx.save_state(w);
+  const std::string text = w.finish();
+  const snapshot::StateDoc doc = snapshot::StateDoc::parse(text, "rx");
+  FskReceiver restored(fsk);
+  snapshot::StateReader r(doc);
+  restored.load_state(r);
+  // Round-trip must re-document byte-identically (deque changed the
+  // container, not the format).
+  snapshot::StateWriter w2;
+  restored.save_state(w2);
+  EXPECT_EQ(w2.finish(), text);
+
+  for (std::uint8_t want = 1; want <= count; ++want) {
+    auto a = rx.pop();
+    auto b = restored.pop();
+    ASSERT_TRUE(a.has_value()) << "frame " << int(want);
+    ASSERT_TRUE(b.has_value()) << "frame " << int(want);
+    EXPECT_EQ(a->decode.frame.seq, want);
+    EXPECT_EQ(b->decode.frame.seq, want);
+    EXPECT_EQ(a->start_sample, b->start_sample);
+  }
+  EXPECT_FALSE(rx.pop().has_value());
+  EXPECT_FALSE(restored.pop().has_value());
 }
 
 TEST(Receiver, SignalBelowMinGateIgnored) {

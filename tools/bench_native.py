@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Add a `native` leg to BENCH_campaign.json from an HS_NATIVE build.
+
+The committed perf snapshot is produced by the DEFAULT (byte-pinned)
+build's `campaign_runner --bench-json`. The opt-in HS_NATIVE flavor
+(-DHS_NATIVE=ON: -march=native -ffp-contract=fast) trades byte-pinned
+outputs for host-tuned codegen; this script measures what that buys.
+It runs the native runner's own --bench-json flow (which still executes
+all of its determinism self-checks, including the scalar-kernel-backend
+leg — the SIMD kernel TUs pin -ffp-contract=off in every flavor), then
+copies the native serial row into the default snapshot:
+
+    python3 tools/bench_native.py --runner build-native/campaign_runner \
+        --bench BENCH_campaign.json
+
+appends
+
+    "native": {"threads": 1, "wall_seconds": ..., "trials_per_second": ...,
+               "simd_backend": "..."},
+    "native_speedup": <default serial wall / native serial wall>
+
+Scenario, seed, trial count and thread count are taken from the existing
+snapshot so both rows describe one workload; a runner whose bench run
+disagrees on any of them is refused rather than recorded.
+
+The native row is a DIFFERENT BINARY of the same workload — its
+aggregates are allowed to drift within the tolerances pinned by
+tests/test_native_baseline.cpp, which is the flavor's correctness gate;
+this script only records its speed.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="append a native leg to a perf snapshot")
+    ap.add_argument("--runner", required=True,
+                    help="HS_NATIVE-flavor campaign_runner binary")
+    ap.add_argument("--bench", required=True, metavar="BENCH_campaign.json",
+                    help="existing default-build perf snapshot to update")
+    args = ap.parse_args()
+
+    runner = pathlib.Path(args.runner)
+    if not runner.exists():
+        sys.exit(f"bench_native: runner not found: {runner}")
+    snap_path = pathlib.Path(args.bench)
+    if not snap_path.exists():
+        sys.exit(f"bench_native: snapshot not found: {snap_path} "
+                 f"(run campaign_runner --bench-json first)")
+    snap = json.loads(snap_path.read_text())
+    for key in ("scenario", "seed", "serial", "parallel"):
+        if key not in snap:
+            sys.exit(f"bench_native: {snap_path} has no '{key}' — not a "
+                     f"--bench-json perf snapshot")
+
+    threads = snap["parallel"].get("threads", 2)
+    with tempfile.TemporaryDirectory(prefix="bench_native.") as tmp:
+        native_json = pathlib.Path(tmp) / "native_bench.json"
+        cmd = [str(runner),
+               f"--scenario={snap['scenario']}",
+               f"--seed={snap['seed']}",
+               f"--threads={threads}",
+               f"--bench-json={native_json}"]
+        print("bench_native: " + " ".join(cmd))
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            sys.exit(f"bench_native: native bench run failed "
+                     f"(exit {proc.returncode})")
+        native = json.loads(native_json.read_text())
+
+    # Both rows must describe one workload: same sweep, same seed, same
+    # trial count. (threads was forced equal above.)
+    for key in ("scenario", "seed", "total_trials"):
+        want, got = snap.get(key), native.get(key)
+        if want != got:
+            sys.exit(f"bench_native: refused: snapshot {key}={want!r} but "
+                     f"the native run produced {key}={got!r}")
+
+    native_serial = native["serial"]
+    snap["native"] = {
+        "threads": 1,
+        "wall_seconds": native_serial["wall_seconds"],
+        "trials_per_second": native_serial["trials_per_second"],
+        "simd_backend": native.get("simd_backend", "unknown"),
+    }
+    serial_wall = snap["serial"].get("wall_seconds", 0.0)
+    native_wall = native_serial.get("wall_seconds", 0.0)
+    snap["native_speedup"] = (
+        round(serial_wall / native_wall, 3)
+        if serial_wall and native_wall else 0.0)
+    snap_path.write_text(json.dumps(snap, indent=2) + "\n")
+    print(f"bench_native: added native row to {snap_path} "
+          f"({snap['native']['trials_per_second']} trials/s, "
+          f"{snap['native_speedup']}x vs default serial)")
+
+
+if __name__ == "__main__":
+    main()

@@ -246,6 +246,22 @@ RULES: tuple[Rule, ...] = (
         ),
     ),
     Rule(
+        rule_id="raw-intrinsics",
+        summary="raw SIMD intrinsics outside src/dsp/kernels.*",
+        scope="all",
+        patterns=(
+            _p(r"\bimmintrin\.h|\bemmintrin\.h|\bxmmintrin\.h|"
+               r"\bsmmintrin\.h|\btmmintrin\.h|\bpmmintrin\.h|"
+               r"\bnmmintrin\.h|\barm_neon\.h",
+               "vector intrinsics bypass the pinned scalar reference; add "
+               "kernels to src/dsp/kernels.* behind the dispatch table"),
+            _p(r"\b_mm\d*_\w+\s*\(",
+               "raw x86 intrinsic call outside the kernel layer"),
+            _p(r"\b__m(128|256|512)[di]?\b",
+               "raw x86 vector type outside the kernel layer"),
+        ),
+    ),
+    Rule(
         rule_id="thread-sleep",
         summary="real-time sleep (scheduling-dependent behaviour)",
         scope="all",

@@ -295,6 +295,52 @@ class TestToStringSerializer(LintCase):
         self.assert_clean()
 
 
+class TestRawIntrinsics(LintCase):
+    def test_intrinsic_call(self):
+        self.write("src/a.cpp", """
+            #include <immintrin.h>
+            double sum4(const double* x) {
+              __m256d v = _mm256_loadu_pd(x);
+              double out[4];
+              _mm256_storeu_pd(out, v);
+              return out[0] + out[1] + out[2] + out[3];
+            }
+            """)
+        self.assert_flags("raw-intrinsics", "_mm256_loadu_pd")
+
+    def test_vector_type_alone(self):
+        self.write("src/a.hpp", """
+            struct Holder { __m128d lanes; };
+            """)
+        self.assert_flags("raw-intrinsics", "__m128d")
+
+    def test_allowlisted_kernel_backend(self):
+        self.write("src/kernels_avx2.cpp", """
+            #include <immintrin.h>
+            __m256d load(const double* x) { return _mm256_loadu_pd(x); }
+            """)
+        config = BASE_CONFIG + textwrap.dedent("""\
+            [rules.raw-intrinsics]
+            allow = [
+              { file = "src/kernels_avx2.cpp", reason = "the kernel backend" },
+            ]
+            """)
+        code, out = run_lint(self.repo, config)
+        self.assertEqual(code, 0, out)
+
+    def test_dispatch_callers_are_clean(self):
+        self.write("src/a.cpp", """
+            #include "dsp/kernels.hpp"
+            // Callers go through the dispatch table; mm / m256 appearing
+            // in comments or identifiers like comm_mm() must not trip.
+            double f(const double* re, const double* im, double e) {
+              return hs::dsp::kernels::segmented_sync_correlation(
+                  re, im, re, im, 8, e);
+            }
+            """)
+        self.assert_clean()
+
+
 class TestThreadSleep(LintCase):
     def test_violation(self):
         self.write("src/a.cpp", """
@@ -366,7 +412,7 @@ class TestConfigMachinery(LintCase):
             "raw-random", "std-rng-engine", "wall-clock",
             "steady-clock-scope", "unordered-in-serializer",
             "unordered-iteration", "float-format", "to-string-serializer",
-            "thread-sleep",
+            "raw-intrinsics", "thread-sleep",
         }
         self.assertEqual(rules, covered,
                          "rule list and self-test fixtures diverged")
