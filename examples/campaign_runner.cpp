@@ -16,11 +16,15 @@
 // steals and snapshot events. Neither changes any aggregate or report
 // byte (see src/obs/metrics.hpp).
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -113,6 +117,7 @@ int usage(const char* argv0, bool is_error) {
       "          [--no-snapshot] [--snapshot-dir=DIR] [--canonical]\n"
       "          [--csv=PATH] [--json=PATH] [--bench-json=PATH]\n"
       "          [--metrics-json=PATH] [--trace=PATH] [--version]\n"
+      "          [--timeout-seconds=N]\n"
       "       %s --shards=K --shard=I --emit-chunks=PATH [run options]\n"
       "          [--chunks=ID,ID,...] [--fault-plan=SPEC]\n"
       "       %s --merge A.jsonl B.jsonl ... [--csv=PATH] [--json=PATH]\n"
@@ -160,6 +165,9 @@ int usage(const char* argv0, bool is_error) {
       "  this shard's stream (kill:I@C, trunc:I@BYTES, truncl:I@LINES,\n"
       "  delay:I@WAVES, corrupt:I@LINE, comma-separated); a kill exits\n"
       "  with status 70 after writing the truncated stream.\n"
+      "  --timeout-seconds aborts a hung run: if the campaign has not\n"
+      "  finished after N seconds the process prints a partial-progress\n"
+      "  line (chunks completed) to stderr and exits with status 124.\n"
       "  --recover salvages the valid prefix of each (possibly\n"
       "  truncated/corrupted/missing) stream, re-runs only the missing\n"
       "  chunks in-process, and writes reports byte-identical to the\n"
@@ -214,6 +222,70 @@ unsigned parse_u32(const char* value, const char* flag) {
   return static_cast<unsigned>(v);
 }
 
+/// `--timeout-seconds`: a detached-from-the-campaign watchdog thread.
+/// If the campaign has not finished when the deadline passes, it prints
+/// a partial-progress line (chunks completed out of the known total, fed
+/// by CampaignOptions::chunks_completed) to stderr and hard-exits with
+/// status 124 — the conventional timeout status — so CI and
+/// run_sharded.py can tell a hang from a crash. _Exit skips destructors
+/// on purpose: worker threads are by definition wedged.
+class Watchdog {
+ public:
+  Watchdog(std::uint64_t timeout_seconds, const std::string& label,
+           std::atomic<std::size_t>* progress)
+      : progress_(progress) {
+    if (timeout_seconds == 0) return;
+    thread_ = std::thread([this, timeout_seconds, label] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (cv_.wait_for(lock, std::chrono::seconds(timeout_seconds),
+                       [this] { return done_; })) {
+        return;
+      }
+      if (total_chunks_ > 0) {
+        std::fprintf(stderr,
+                     "FATAL: %s timed out after %llu s: %zu/%zu chunk(s) "
+                     "completed\n",
+                     label.c_str(),
+                     static_cast<unsigned long long>(timeout_seconds),
+                     progress_->load(), total_chunks_);
+      } else {
+        std::fprintf(stderr,
+                     "FATAL: %s timed out after %llu s: %zu chunk(s) "
+                     "completed\n",
+                     label.c_str(),
+                     static_cast<unsigned long long>(timeout_seconds),
+                     progress_->load());
+      }
+      std::_Exit(124);
+    });
+  }
+
+  /// Arms the "c/C" form of the progress line once the chunk plan is
+  /// known. Safe to skip — the watchdog then reports the bare count.
+  void set_total_chunks(std::size_t total) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_chunks_ = total;
+  }
+
+  ~Watchdog() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::atomic<std::size_t>* progress_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::size_t total_chunks_ = 0;  ///< guarded by mutex_
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,6 +297,7 @@ int main(int argc, char** argv) {
   std::string fault_plan_spec, chunks_spec, executor_name = "thread";
   std::string workdir;
   std::size_t shard_count = 0, shard_index = 0, max_rounds = 4;
+  std::uint64_t timeout_seconds = 0;
   bool have_shard_index = false, merge_mode = false, canonical = false;
   bool list_mode = false, list_json = false;
   bool recover_mode = false, dispatch_mode = false;
@@ -265,6 +338,8 @@ int main(int argc, char** argv) {
       workdir = value;
     } else if ((value = flag_value(arg, "--max-rounds", argc, argv, &i))) {
       max_rounds = parse_u64(value, "--max-rounds");
+    } else if ((value = flag_value(arg, "--timeout-seconds", argc, argv, &i))) {
+      timeout_seconds = parse_u64(value, "--timeout-seconds");
     } else if (std::strcmp(arg, "--no-reuse") == 0) {
       options.reuse_deployments = false;
       run_flag = "--no-reuse";
@@ -342,6 +417,15 @@ int main(int argc, char** argv) {
                  "exclusive modes\n");
     return 1;
   }
+
+  // `--timeout-seconds` watchdog. Armed here so it covers every
+  // executing mode (normal run, shard, --recover re-runs, --dispatch,
+  // the --bench-json legs) and even a wedged --merge parse; the chunk
+  // progress counter is fed by the runner through
+  // CampaignOptions::chunks_completed.
+  std::atomic<std::size_t> watchdog_chunks{0};
+  if (timeout_seconds > 0) options.chunks_completed = &watchdog_chunks;
+  Watchdog watchdog(timeout_seconds, "campaign_runner", &watchdog_chunks);
 
   // ---- recover mode: salvage partial streams, re-run what was lost ----
   if (recover_mode) {
@@ -705,6 +789,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", e.what());
       return 1;
     }
+    watchdog.set_total_chunks(plan.chunks.size());
     const auto exec = campaign::run_campaign_chunks(*scenario, options,
                                                     std::move(plan));
     std::string stream_text =
@@ -761,6 +846,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  watchdog.set_total_chunks(
+      campaign::plan_shard(*scenario, options, 1, 0).chunks.size());
   const auto result = campaign::run_campaign(*scenario, options);
   campaign::print_summary(stdout, result);
 
@@ -874,16 +961,36 @@ int main(int argc, char** argv) {
                    dsp::kernels::backend_name(bench_backend));
       return 1;
     }
-    if (warm.snapshots_restored == 0 &&
+    if (warm.snapshots_restored == 0 && warm.snapshots_saved == 0 &&
         campaign::experiment_uses_deployments(scenario->kind)) {
       // Pure-DSP kinds (spectrum/wideband/multipath) legitimately never
-      // build a deployment, so zero restores is only suspicious when the
-      // kind does.
+      // build a deployment, so an untouched cache is only suspicious
+      // when the kind does. Under WarmStrategy::kRestoreOnBuild a serial
+      // warm leg publishes one snapshot and then resets its pooled
+      // deployment, so "saved" (not per-trial restores) is the sign of
+      // life.
       std::fprintf(stderr,
-                   "FATAL: the warm leg never restored a snapshot — the "
-                   "recorded 'warm' row would just be a second reuse "
+                   "FATAL: the warm leg never touched the snapshot cache — "
+                   "the recorded 'warm' row would just be a second reuse "
                    "measurement\n");
       return 1;
+    }
+    // Warm-leg regression tripwire: the whole point of the snapshot
+    // machinery is that the warm leg must not lose to the plain reset
+    // baseline (it briefly did — warm_speedup 0.972 — when per-trial
+    // restores were kept mandatory after the SIMD kernels made warm-up
+    // replay cheaper than snapshot deserialization; WarmStrategy::
+    // kRestoreOnBuild is the fix). Below 0.98 the recorded row is a
+    // regression, not noise.
+    const double warm_speedup = warm.wall_seconds > 0.0
+                                    ? serial.wall_seconds / warm.wall_seconds
+                                    : 0.0;
+    if (warm_speedup < 0.98) {
+      std::fprintf(stderr,
+                   "WARNING: warm leg regressed against the reset baseline "
+                   "(warm_speedup %.3f < 0.98) — snapshot restores are "
+                   "costing more than the warm-up replay they skip\n",
+                   warm_speedup);
     }
     std::printf("\n  determinism: %u-thread aggregates bit-identical to "
                 "1-thread (%zu chunks stolen)\n",

@@ -378,12 +378,9 @@ std::vector<std::string_view> split_lines(std::string_view text) {
 
 }  // namespace
 
-std::string serialize_chunk_stream(const Scenario& scenario,
-                                   const CampaignOptions& options,
-                                   const ShardExecution& exec) {
-  const ShardPlan& plan = exec.plan;
-  std::string out;
-  std::string line;
+std::string serialize_stream_header(const Scenario& scenario,
+                                    const CampaignOptions& options,
+                                    const ShardPlan& plan) {
   char buf[512];
   std::snprintf(buf, sizeof buf,
                 "{\"format\":\"hs-chunk-stream\",\"version\":%d,"
@@ -397,60 +394,64 @@ std::string serialize_chunk_stream(const Scenario& scenario,
                 plan.shard_count, plan.shard_index, plan.point_count,
                 plan.total_chunks, plan.chunks.size(),
                 plan.repair ? "repair" : "deal");
-  line = buf;
+  std::string line = buf;
   seal_line(line);
-  out += line;
-  out += '\n';
+  return line;
+}
 
-  for (std::size_t c = 0; c < plan.chunks.size(); ++c) {
-    const ChunkRef& ref = plan.chunks[c];
-    std::snprintf(buf, sizeof buf,
-                  "{\"chunk\":%zu,\"point\":%zu,\"trial_begin\":%zu,"
-                  "\"trial_end\":%zu,\"metrics\":{",
-                  ref.chunk_index, ref.point_index, ref.trial_begin,
-                  ref.trial_end);
-    line = buf;
-    bool first = true;
-    for (std::size_t m = 0; m < kMetricCount; ++m) {
-      const auto moments = exec.chunk_metrics[c][m].moments();
-      if (moments.count == 0) continue;
-      if (!first) line += ',';
-      first = false;
-      line += '"';
-      line += metric_name(static_cast<Metric>(m));
-      line += "\":{\"count\":";
-      line += std::to_string(moments.count);
-      line += ",\"mean\":";
-      append_hex_double(line, moments.mean);
-      line += ",\"m2\":";
-      append_hex_double(line, moments.m2);
-      line += ",\"min\":";
-      append_hex_double(line, moments.min);
-      line += ",\"max\":";
-      append_hex_double(line, moments.max);
-      line += '}';
-    }
-    line += "}}";
-    seal_line(line);
-    out += line;
-    out += '\n';
+std::string serialize_chunk_record(
+    const ChunkRef& ref,
+    const std::array<StreamingStats, kMetricCount>& metrics) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"chunk\":%zu,\"point\":%zu,\"trial_begin\":%zu,"
+                "\"trial_end\":%zu,\"metrics\":{",
+                ref.chunk_index, ref.point_index, ref.trial_begin,
+                ref.trial_end);
+  std::string line = buf;
+  bool first = true;
+  for (std::size_t m = 0; m < kMetricCount; ++m) {
+    const auto moments = metrics[m].moments();
+    if (moments.count == 0) continue;
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    line += metric_name(static_cast<Metric>(m));
+    line += "\":{\"count\":";
+    line += std::to_string(moments.count);
+    line += ",\"mean\":";
+    append_hex_double(line, moments.mean);
+    line += ",\"m2\":";
+    append_hex_double(line, moments.m2);
+    line += ",\"min\":";
+    append_hex_double(line, moments.min);
+    line += ",\"max\":";
+    append_hex_double(line, moments.max);
+    line += '}';
   }
+  line += "}}";
+  seal_line(line);
+  return line;
+}
 
-  // Trailer: the shard's merged observability report. Always written,
-  // every counter and phase in enum order, so the line layout (and the
-  // strict parser above) never depends on what a run happened to count.
+std::string serialize_metrics_trailer(unsigned threads, double wall_seconds,
+                                      const obs::Report& report) {
+  // Always written, every counter and phase in enum order, so the line
+  // layout (and the strict parser above) never depends on what a run
+  // happened to count.
+  char buf[160];
   std::snprintf(buf, sizeof buf,
                 "{\"trailer\":\"hs-metrics\",\"version\":%d,\"threads\":%u,"
                 "\"wall_ns\":%" PRIu64 ",\"counters\":{",
-                obs::kMetricsVersion, exec.threads,
-                static_cast<std::uint64_t>(exec.wall_seconds * 1e9));
-  line = buf;
+                obs::kMetricsVersion, threads,
+                static_cast<std::uint64_t>(wall_seconds * 1e9));
+  std::string line = buf;
   for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
     if (i > 0) line += ',';
     line += '"';
     line += obs::counter_name(static_cast<obs::Counter>(i));
     line += "\":";
-    line += std::to_string(exec.metrics.counters[i]);
+    line += std::to_string(report.counters[i]);
   }
   line += "},\"phases\":{";
   for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
@@ -458,14 +459,30 @@ std::string serialize_chunk_stream(const Scenario& scenario,
     line += '"';
     line += obs::phase_name(static_cast<obs::Phase>(i));
     line += "\":{\"calls\":";
-    line += std::to_string(exec.metrics.phases[i].calls);
+    line += std::to_string(report.phases[i].calls);
     line += ",\"ns\":";
-    line += std::to_string(exec.metrics.phases[i].ns);
+    line += std::to_string(report.phases[i].ns);
     line += '}';
   }
   line += "}}";
   seal_line(line);
-  out += line;
+  return line;
+}
+
+std::string serialize_chunk_stream(const Scenario& scenario,
+                                   const CampaignOptions& options,
+                                   const ShardExecution& exec) {
+  const ShardPlan& plan = exec.plan;
+  std::string out;
+  out += serialize_stream_header(scenario, options, plan);
+  out += '\n';
+  for (std::size_t c = 0; c < plan.chunks.size(); ++c) {
+    out += serialize_chunk_record(plan.chunks[c], exec.chunk_metrics[c]);
+    out += '\n';
+  }
+  // Trailer: the shard's merged observability report.
+  out += serialize_metrics_trailer(exec.threads, exec.wall_seconds,
+                                   exec.metrics);
   out += '\n';
   return out;
 }

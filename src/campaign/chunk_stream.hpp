@@ -166,6 +166,22 @@ std::string serialize_chunk_stream(const Scenario& scenario,
                                    const CampaignOptions& options,
                                    const ShardExecution& exec);
 
+/// Single-line serializers for incremental producers — the service
+/// daemon frames these in its responses as chunks complete. Each
+/// returns the exact sealed line (no trailing newline) that
+/// serialize_chunk_stream would have written, so a client that collects
+/// the header, every record sorted by ascending chunk id, and the
+/// trailer, joined by '\n', holds a byte-identical, strictly parseable
+/// v3 stream it can feed back through `--merge`.
+std::string serialize_stream_header(const Scenario& scenario,
+                                    const CampaignOptions& options,
+                                    const ShardPlan& plan);
+std::string serialize_chunk_record(
+    const ChunkRef& ref,
+    const std::array<StreamingStats, kMetricCount>& metrics);
+std::string serialize_metrics_trailer(unsigned threads, double wall_seconds,
+                                      const obs::Report& report);
+
 /// Parses and validates one stream. `source` names the stream (file
 /// path) in error messages. Throws ChunkStreamError.
 ChunkStream parse_chunk_stream(std::string_view text,

@@ -474,6 +474,50 @@ std::vector<TrialSample> run_trial(const Scenario& scenario,
   return {};
 }
 
+std::array<StreamingStats, kMetricCount> run_chunk(
+    const Scenario& scenario, std::uint64_t campaign_seed,
+    const ChunkRef& chunk, shield::TrialContext* context,
+    std::uint64_t warmup_seed, snapshot::SnapshotCache* cache,
+    ChunkPoolCounters* fresh_counters) {
+  std::array<StreamingStats, kMetricCount> metrics{};
+  // Re-applying the warm policy is idempotent for a dedicated worker
+  // context and required for a shared one: a service worker runs chunks
+  // of different campaigns back to back, each with its own warm seed.
+  if (context != nullptr) context->set_warm_policy(warmup_seed, cache);
+  const double axis_value = scenario.axis_value_at(chunk.point_index);
+  for (std::size_t t = chunk.trial_begin; t < chunk.trial_end; ++t) {
+    const std::uint64_t seed =
+        trial_seed(campaign_seed, scenario.name, chunk.point_index, t);
+    std::vector<TrialSample> samples;
+    {
+      obs::ScopedTimer trial_timer(obs::Phase::kTrial);
+      if (context != nullptr) {
+        samples =
+            run_trial(scenario, chunk.point_index, axis_value, seed, context);
+      } else {
+        // The A/B baseline: a throwaway context per trial keeps every
+        // node freshly constructed (only the warm policy carries over,
+        // so aggregates still match the pooled path bit-for-bit).
+        shield::TrialContext fresh;
+        fresh.set_warm_policy(warmup_seed, cache);
+        samples =
+            run_trial(scenario, chunk.point_index, axis_value, seed, &fresh);
+        if (fresh_counters != nullptr) {
+          fresh_counters->deployments_built += fresh.deployments_built();
+          fresh_counters->snapshots_restored += fresh.snapshots_restored();
+          fresh_counters->snapshots_saved += fresh.snapshots_saved();
+        }
+      }
+    }
+    obs::count(obs::Counter::kTrials);
+    obs::ScopedTimer merge_timer(obs::Phase::kStatsMerge);
+    for (const auto& sample : samples) {
+      metrics[static_cast<std::size_t>(sample.metric)].add(sample.value);
+    }
+  }
+  return metrics;
+}
+
 ShardExecution run_campaign_chunks(const Scenario& scenario,
                                    const CampaignOptions& options,
                                    ShardPlan plan) {
@@ -544,8 +588,8 @@ ShardExecution run_campaign_chunks(const Scenario& scenario,
     // One trial-context pool per worker: deployments and experiment nodes
     // are reset-and-reseeded between this worker's trials instead of
     // reconstructed (bit-identical either way; see trial_context.hpp).
+    // run_chunk applies the warm policy on every chunk.
     shield::TrialContext pool;
-    pool.set_warm_policy(warm_seed, cache_ptr);
     for (;;) {
       std::optional<std::size_t> c;
       bool stolen = false;
@@ -568,7 +612,6 @@ ShardExecution run_campaign_chunks(const Scenario& scenario,
           obs::trace_instant("steal", "steal", args);
         }
       }
-      const double axis_value = scenario.axis_value_at(chunk.point_index);
       {
         std::optional<obs::TraceSpan> chunk_span;
         if (tracing) {
@@ -583,40 +626,26 @@ ShardExecution run_campaign_chunks(const Scenario& scenario,
                              "chunk " + std::to_string(chunk.chunk_index),
                              std::string(args));
         }
-        for (std::size_t t = chunk.trial_begin; t < chunk.trial_end; ++t) {
-          const std::uint64_t seed = trial_seed(options.seed, scenario.name,
-                                                chunk.point_index, t);
-          std::vector<TrialSample> samples;
-          {
-            obs::ScopedTimer trial_timer(obs::Phase::kTrial);
-            if (options.reuse_deployments) {
-              samples = run_trial(scenario, chunk.point_index, axis_value,
-                                  seed, &pool);
-            } else {
-              // The A/B baseline: a throwaway context per trial keeps every
-              // node freshly constructed (only the warm policy carries over,
-              // so aggregates still match the pooled legs bit-for-bit).
-              shield::TrialContext fresh;
-              fresh.set_warm_policy(warm_seed, cache_ptr);
-              samples = run_trial(scenario, chunk.point_index, axis_value,
-                                  seed, &fresh);
-              deployments_built.fetch_add(fresh.deployments_built());
-              snapshots_restored.fetch_add(fresh.snapshots_restored());
-              snapshots_saved.fetch_add(fresh.snapshots_saved());
-            }
-          }
-          obs::count(obs::Counter::kTrials);
-          obs::ScopedTimer merge_timer(obs::Phase::kStatsMerge);
-          for (const auto& sample : samples) {
-            exec.chunk_metrics[*c][static_cast<std::size_t>(sample.metric)]
-                .add(sample.value);
-          }
+        if (options.reuse_deployments) {
+          exec.chunk_metrics[*c] = run_chunk(scenario, options.seed, chunk,
+                                             &pool, warm_seed, cache_ptr);
+        } else {
+          ChunkPoolCounters fresh;
+          exec.chunk_metrics[*c] = run_chunk(scenario, options.seed, chunk,
+                                             nullptr, warm_seed, cache_ptr,
+                                             &fresh);
+          deployments_built.fetch_add(fresh.deployments_built);
+          snapshots_restored.fetch_add(fresh.snapshots_restored);
+          snapshots_saved.fetch_add(fresh.snapshots_saved);
         }
       }
       obs::count(obs::Counter::kChunks);
       oscope.flush();  // chunk boundary: fold the thread block + spans
+      const std::size_t done = chunks_done.fetch_add(1) + 1;
+      if (options.chunks_completed != nullptr) {
+        options.chunks_completed->fetch_add(1, std::memory_order_relaxed);
+      }
       if (options.progress) {
-        const std::size_t done = chunks_done.fetch_add(1) + 1;
         if (done % progress_every == 0 || done == chunks.size()) {
           // One fwrite + flush per line: run_sharded.py multiplexes the
           // stderr of K shard processes, and a buffered or split write

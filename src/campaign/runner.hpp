@@ -23,6 +23,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -37,6 +38,10 @@
 namespace hs::shield {
 class TrialContext;
 }  // namespace hs::shield
+
+namespace hs::snapshot {
+class SnapshotCache;
+}  // namespace hs::snapshot
 
 namespace hs::campaign {
 
@@ -79,6 +84,12 @@ struct CampaignOptions {
   /// owned. Workers buffer spans thread-locally and flush them at chunk
   /// boundaries. Null disables tracing.
   obs::TraceRecorder* trace = nullptr;
+  /// Optional liveness counter, incremented once per completed chunk
+  /// (relaxed; not owned). The CLI's `--timeout-seconds` watchdog reads
+  /// it to report partial progress when it aborts a hung campaign, and
+  /// server-side request deadlines build on the same hook. Never read by
+  /// the engine itself — aggregates are unaffected.
+  std::atomic<std::size_t>* chunks_completed = nullptr;
 };
 
 /// Aggregates for one sweep point.
@@ -151,6 +162,39 @@ std::vector<TrialSample> run_trial(const Scenario& scenario,
                                    std::size_t point_index,
                                    double axis_value, std::uint64_t seed,
                                    shield::TrialContext* context = nullptr);
+
+/// Pool-effectiveness counters run_chunk reports for the throwaway
+/// (context == nullptr) path, where the per-trial contexts are internal
+/// to the call. Matches the historical no-reuse accounting: built /
+/// restored / saved only, within-trial resets excluded.
+struct ChunkPoolCounters {
+  std::size_t deployments_built = 0;
+  std::size_t snapshots_restored = 0;
+  std::size_t snapshots_saved = 0;
+};
+
+/// Executes one chunk and returns its metric accumulators — the
+/// chunk-granular submission point for external schedulers (the service
+/// daemon feeds interleaved chunks from many concurrent campaigns
+/// through here). The trial seeds and the accumulation order depend
+/// only on (campaign seed, scenario, chunk), never on which thread,
+/// worker, pool or process runs the chunk, so any interleaving
+/// reproduces the serial aggregates bit-for-bit once chunks are folded
+/// in ascending chunk id.
+///
+/// `context` is the caller's resident TrialContext (its warm policy is
+/// (re)applied from `warmup_seed`/`cache` on every call, so one context
+/// may serve chunks of different campaigns back to back). A null
+/// `context` builds a fresh context per trial — the `--no-reuse` A/B
+/// baseline — accumulating pool counters into `fresh_counters` when
+/// given. `warmup_seed` must come from campaign_warmup_seed(); `cache`
+/// may be null (two-phase seeding stays on, only the snapshot cache is
+/// bypassed).
+std::array<StreamingStats, kMetricCount> run_chunk(
+    const Scenario& scenario, std::uint64_t campaign_seed,
+    const ChunkRef& chunk, shield::TrialContext* context,
+    std::uint64_t warmup_seed, snapshot::SnapshotCache* cache,
+    ChunkPoolCounters* fresh_counters = nullptr);
 
 /// One shard's execution: per-chunk accumulators (parallel to
 /// plan.chunks) plus the pool counters. Kept un-merged so the chunk

@@ -1,0 +1,346 @@
+#include "serve/protocol.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "campaign/report.hpp"
+
+namespace hs::serve {
+
+namespace {
+
+using campaign::json_escape;
+
+/// Minimal JSON scanner for request lines: objects, strings, unsigned
+/// integers and booleans — the whole request grammar. Tolerant of key
+/// order and whitespace (clients serialize with stock JSON libraries),
+/// strict about everything else: duplicate keys, unknown keys, wrong
+/// value types, trailing bytes and unsupported JSON (floats, arrays,
+/// null, nested objects outside "overrides") all throw ProtocolError.
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string_view s) : s_(s) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ProtocolError("request: " + what + " (byte " +
+                        std::to_string(pos_) + ")");
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of request");
+    return s_[pos_];
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          default: fail("unsupported string escape");
+        }
+      }
+      out += c;
+    }
+  }
+
+  std::uint64_t parse_u64() {
+    skip_ws();
+    const std::size_t begin = pos_;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    if (pos_ == begin) fail("expected a non-negative integer");
+    if (pos_ < s_.size() &&
+        (s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      fail("expected an integer, not a float");
+    }
+    if (pos_ - begin > 20) fail("integer does not fit in 64 bits");
+    std::uint64_t v = 0;
+    for (std::size_t i = begin; i < pos_; ++i) {
+      const std::uint64_t digit = static_cast<std::uint64_t>(s_[i] - '0');
+      if (v > (UINT64_MAX - digit) / 10) {
+        fail("integer does not fit in 64 bits");
+      }
+      v = v * 10 + digit;
+    }
+    return v;
+  }
+
+  bool parse_bool() {
+    skip_ws();
+    if (s_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return true;
+    }
+    if (s_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return false;
+    }
+    fail("expected true or false");
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Request parse_request(std::string_view line) {
+  if (line.size() > kMaxRequestBytes) {
+    throw ProtocolError("request: line exceeds " +
+                        std::to_string(kMaxRequestBytes) + " bytes");
+  }
+  JsonScanner sc(line);
+  Request req;
+  std::string cmd;
+  bool have_cmd = false, have_preset = false, have_id = false;
+  bool have_seed = false, have_trials = false, have_chunk_size = false;
+  bool have_priority = false, have_overrides = false;
+
+  sc.expect('{');
+  if (!sc.consume('}')) {
+    for (;;) {
+      const std::string key = sc.parse_string();
+      sc.expect(':');
+      const auto once = [&sc, &key](bool& seen) {
+        if (seen) sc.fail("duplicate key '" + key + "'");
+        seen = true;
+      };
+      if (key == "cmd") {
+        once(have_cmd);
+        cmd = sc.parse_string();
+      } else if (key == "preset") {
+        once(have_preset);
+        req.run.preset = sc.parse_string();
+      } else if (key == "seed") {
+        once(have_seed);
+        req.run.seed = sc.parse_u64();
+      } else if (key == "trials") {
+        once(have_trials);
+        req.run.trials = static_cast<std::size_t>(sc.parse_u64());
+      } else if (key == "chunk_size") {
+        once(have_chunk_size);
+        req.run.chunk_size = static_cast<std::size_t>(sc.parse_u64());
+      } else if (key == "priority") {
+        once(have_priority);
+        const std::uint64_t p = sc.parse_u64();
+        if (p < kMinPriority || p > kMaxPriority) {
+          sc.fail("priority must be in [" + std::to_string(kMinPriority) +
+                  ", " + std::to_string(kMaxPriority) + "]");
+        }
+        req.run.priority = static_cast<unsigned>(p);
+      } else if (key == "overrides") {
+        once(have_overrides);
+        sc.expect('{');
+        if (!sc.consume('}')) {
+          bool have_reuse = false, have_snapshots = false;
+          for (;;) {
+            const std::string okey = sc.parse_string();
+            sc.expect(':');
+            if (okey == "reuse") {
+              if (have_reuse) sc.fail("duplicate override 'reuse'");
+              have_reuse = true;
+              req.run.reuse = sc.parse_bool();
+            } else if (okey == "snapshots") {
+              if (have_snapshots) sc.fail("duplicate override 'snapshots'");
+              have_snapshots = true;
+              req.run.snapshots = sc.parse_bool();
+            } else {
+              // Only execution-shaping knobs that cannot change report
+              // bytes are overridable; reject the rest loudly so a
+              // client cannot believe it changed something it did not.
+              sc.fail("unknown override '" + okey +
+                      "' (allowed: reuse, snapshots)");
+            }
+            if (sc.consume(',')) continue;
+            sc.expect('}');
+            break;
+          }
+        }
+      } else if (key == "id") {
+        once(have_id);
+        req.cancel_id = sc.parse_u64();
+      } else {
+        sc.fail("unknown key '" + key + "'");
+      }
+      if (sc.consume(',')) continue;
+      sc.expect('}');
+      break;
+    }
+  }
+  if (!sc.at_end()) sc.fail("trailing bytes after request object");
+  if (!have_cmd) throw ProtocolError("request: missing 'cmd'");
+
+  const bool run_keys = have_preset || have_seed || have_trials ||
+                        have_chunk_size || have_priority || have_overrides;
+  if (cmd == "run") {
+    req.kind = RequestKind::kRun;
+    if (!have_preset || req.run.preset.empty()) {
+      throw ProtocolError("request: run needs a non-empty 'preset'");
+    }
+    if (have_chunk_size && req.run.chunk_size == 0) {
+      throw ProtocolError("request: chunk_size must be >= 1");
+    }
+    if (req.run.trials > 100000000) {
+      throw ProtocolError("request: trials too large (max 100000000)");
+    }
+    if (have_id) throw ProtocolError("request: 'id' is not valid for run");
+  } else if (cmd == "cancel") {
+    req.kind = RequestKind::kCancel;
+    if (!have_id) throw ProtocolError("request: cancel needs 'id'");
+    if (run_keys) {
+      throw ProtocolError("request: run-only keys are not valid for cancel");
+    }
+  } else if (cmd == "stats" || cmd == "ping") {
+    req.kind = cmd == "stats" ? RequestKind::kStats : RequestKind::kPing;
+    if (run_keys || have_id) {
+      throw ProtocolError("request: extra keys are not valid for '" + cmd +
+                          "'");
+    }
+  } else {
+    throw ProtocolError("request: unknown cmd '" + cmd + "'");
+  }
+  return req;
+}
+
+std::string admitted_line(std::uint64_t id, std::string_view preset,
+                          std::size_t total_chunks,
+                          std::size_t queue_depth) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"type\":\"admitted\",\"id\":%" PRIu64
+                ",\"preset\":\"%s\",\"total_chunks\":%zu,"
+                "\"queue_depth\":%zu}",
+                id, json_escape(preset).c_str(), total_chunks, queue_depth);
+  return buf;
+}
+
+std::string rejected_line(std::uint64_t retry_after_ms,
+                          std::string_view reason) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"type\":\"rejected\",\"code\":429,\"retry_after_ms\":%" PRIu64
+                ",\"reason\":\"%s\"}",
+                retry_after_ms, json_escape(reason).c_str());
+  return buf;
+}
+
+std::string error_line(std::string_view reason) {
+  return "{\"type\":\"error\",\"reason\":\"" + json_escape(reason) + "\"}";
+}
+
+std::string framed_line(std::string_view type, std::uint64_t id,
+                        std::string_view v3_line) {
+  std::string out = "{\"type\":\"";
+  out += type;
+  out += "\",\"id\":";
+  out += std::to_string(id);
+  out += ",\"line\":\"";
+  out += json_escape(v3_line);
+  out += "\"}";
+  return out;
+}
+
+std::string report_line(std::uint64_t id, std::string_view csv,
+                        std::string_view json) {
+  std::string out = "{\"type\":\"report\",\"id\":";
+  out += std::to_string(id);
+  out += ",\"csv\":\"";
+  out += json_escape(csv);
+  out += "\",\"json\":\"";
+  out += json_escape(json);
+  out += "\"}";
+  return out;
+}
+
+std::string done_line(std::uint64_t id, std::size_t chunks, double wall_ms,
+                      double queue_wait_ms) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "{\"type\":\"done\",\"id\":%" PRIu64
+                ",\"chunks\":%zu,\"wall_ms\":%.3f,\"queue_wait_ms\":%.3f}",
+                id, chunks, wall_ms, queue_wait_ms);
+  return buf;
+}
+
+std::string cancelled_line(std::uint64_t id, std::size_t chunks_completed) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "{\"type\":\"cancelled\",\"id\":%" PRIu64
+                ",\"chunks_completed\":%zu}",
+                id, chunks_completed);
+  return buf;
+}
+
+std::string pong_line() { return "{\"type\":\"pong\"}"; }
+
+std::string stats_line(const obs::ServiceStatsSnapshot& s) {
+  const auto lat = [](const obs::LatencyWindow::Percentiles& p) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "{\"count\":%" PRIu64
+                  ",\"p50_ms\":%.3f,\"p90_ms\":%.3f,\"p99_ms\":%.3f,"
+                  "\"max_ms\":%.3f}",
+                  p.count, p.p50, p.p90, p.p99, p.max);
+    return std::string(buf);
+  };
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"type\":\"stats\",\"requests_admitted\":%" PRIu64
+                ",\"requests_rejected\":%" PRIu64
+                ",\"requests_cancelled\":%" PRIu64
+                ",\"requests_completed\":%" PRIu64
+                ",\"chunks_executed\":%" PRIu64
+                ",\"queue_depth\":%zu,\"active_requests\":%zu",
+                s.requests_admitted, s.requests_rejected,
+                s.requests_cancelled, s.requests_completed,
+                s.chunks_executed, s.queue_depth, s.active_requests);
+  std::string out = buf;
+  out += ",\"wall\":";
+  out += lat(s.wall_ms);
+  out += ",\"queue_wait\":";
+  out += lat(s.queue_wait_ms);
+  out += "}";
+  return out;
+}
+
+}  // namespace hs::serve

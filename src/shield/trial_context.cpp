@@ -8,9 +8,11 @@
 namespace hs::shield {
 
 void TrialContext::set_warm_policy(std::uint64_t warmup_seed,
-                                   snapshot::SnapshotCache* cache) {
+                                   snapshot::SnapshotCache* cache,
+                                   WarmStrategy strategy) {
   warmup_seed_ = warmup_seed;
   cache_ = warmup_seed != 0 ? cache : nullptr;
+  strategy_ = strategy;
 }
 
 Deployment& TrialContext::cold_deployment(const DeploymentOptions& options) {
@@ -30,6 +32,13 @@ Deployment& TrialContext::deployment(const DeploymentOptions& options) {
   DeploymentOptions opts = options;
   if (warmup_seed_ != 0) opts.warmup_seed = warmup_seed_;
   if (cache_ == nullptr) return cold_deployment(opts);
+  if (strategy_ == WarmStrategy::kRestoreOnBuild && deployment_ != nullptr &&
+      deployment_->can_reset_to(opts)) {
+    // Replaying the warm-up through reset is cheaper than deserializing
+    // a snapshot (and bit-identical); the cache matters only when the
+    // deployment below must be (re)built.
+    return cold_deployment(opts);
+  }
 
   const std::string key = deployment_warm_key(opts);
   std::shared_ptr<const snapshot::StateDoc> doc = cache_->find(key);

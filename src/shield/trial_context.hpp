@@ -33,6 +33,25 @@ class SnapshotCache;
 
 namespace hs::shield {
 
+/// How a warm-policy context uses its snapshot cache. Both strategies
+/// produce bit-identical deployments (the snapshot-identity tests sweep
+/// both); they differ only in which recovery path runs when.
+enum class WarmStrategy {
+  /// Consult the cache only when the deployment must be (re)built; a
+  /// pooled deployment whose node set matches is reset — replaying the
+  /// warm-up — instead of deserializing a snapshot. The default: since
+  /// the SIMD kernels cut warm-up replay below snapshot-restore
+  /// deserialization cost, per-trial restores were a net loss (the
+  /// BENCH_campaign.json `warm_speedup: 0.972` regression), while
+  /// restores still win exactly where they are irreplaceable — first
+  /// trials of freshly built contexts (sharded startup, serverd
+  /// workers, `--no-reuse`) skipping the cold warm-up simulation.
+  kRestoreOnBuild,
+  /// Restore from the cache on every trial, matching pooled deployment
+  /// or not — the historical policy, kept for A/B timing.
+  kRestoreAlways,
+};
+
 class TrialContext {
  public:
   TrialContext() = default;
@@ -44,13 +63,15 @@ class TrialContext {
   /// DeploymentOptions::warmup_seed), making the post-warm-up state
   /// trial-independent. With a cache, deployment() then restores that
   /// state from a warm snapshot instead of re-simulating the warm-up —
-  /// publishing a snapshot on the first cold miss. The cache may be
+  /// publishing a snapshot on the first cold miss. When a restore runs
+  /// is the `strategy` knob (see WarmStrategy). The cache may be
   /// shared across worker threads (it is internally locked) and, through
   /// its directory, across shard processes. Both restored and cold
   /// deployments are bit-identical by construction; the campaign's
   /// snapshot-identity tests enforce it.
   void set_warm_policy(std::uint64_t warmup_seed,
-                       snapshot::SnapshotCache* cache);
+                       snapshot::SnapshotCache* cache,
+                       WarmStrategy strategy = WarmStrategy::kRestoreOnBuild);
 
   /// Returns a deployment in exactly the state `Deployment(options)`
   /// would produce. Reuses (reset + reseeds) the pooled instance when its
@@ -101,6 +122,7 @@ class TrialContext {
   std::unique_ptr<JammingSignalGenerator> jamgen_;
   std::uint64_t warmup_seed_ = 0;
   snapshot::SnapshotCache* cache_ = nullptr;
+  WarmStrategy strategy_ = WarmStrategy::kRestoreOnBuild;
   std::size_t deployments_built_ = 0;
   std::size_t deployments_reused_ = 0;
   std::size_t snapshots_restored_ = 0;

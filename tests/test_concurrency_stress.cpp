@@ -15,6 +15,12 @@
 //     duplicate suppression overlap — the recovered report must stay
 //     byte-identical to the serial run.
 //
+// (3) ServeSchedulerStressTest: many client threads hammer one resident
+//     serve::Scheduler — concurrent submits, starts and racing cancels
+//     over a shared worker pool and snapshot cache — and every request
+//     that completes must still report bytes identical to its serial
+//     run.
+//
 // The TSan CI job runs these suites with halt-on-error; any data race
 // in SnapshotCache, the work-stealing deques, the DelayQueue or the
 // obs thread-local merge fails the build. Keep this file free of
@@ -22,8 +28,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +40,7 @@
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/scenario.hpp"
+#include "serve/scheduler.hpp"
 #include "snapshot/snapshot_cache.hpp"
 #include "snapshot/state_io.hpp"
 
@@ -174,6 +183,115 @@ TEST(DispatchStragglerStressTest, OverlappingStragglersAndAKill) {
   // duplicates rather than double-merged.
   EXPECT_GE(rep.chunks_duplicate, 1u);
   EXPECT_GE(rep.shards_straggler, 1u);
+}
+
+TEST(ServeSchedulerStressTest, RacingSubmitsCancelsAndCompletions) {
+  using namespace hs::campaign;
+  const Scenario* preset = find_scenario("fig8-tradeoff");
+  ASSERT_NE(preset, nullptr);
+  Scenario s = *preset;
+  s.axis_values = {10, 20};
+  s.units_per_trial = 1;
+
+  // One resident scheduler: 4 workers, 4-deep weighted-fair set, queue
+  // sized so every submit is admitted — the stress is contention on the
+  // scheduler lock, the shared snapshot cache and the per-worker
+  // TrialContexts, not admission push-back (test_serve covers that).
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kPerClient = 4;
+  obs::ServiceStats stats;
+  serve::SchedulerOptions options;
+  options.workers = 4;
+  options.max_active = 4;
+  options.max_queue = kClients * kPerClient;
+  serve::Scheduler scheduler(options, &stats);
+
+  struct Outcome {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool cancelled = false;
+    CampaignResult result;
+  };
+  std::vector<std::shared_ptr<Outcome>> outcomes(kClients * kPerClient);
+  for (auto& out : outcomes) out = std::make_shared<Outcome>();
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (std::size_t j = 0; j < kPerClient; ++j) {
+        const std::size_t slot = t * kPerClient + j;
+        auto out = outcomes[slot];
+        serve::RunRequest r;
+        r.preset = s.name;
+        r.seed = 1000 + slot;
+        r.trials = 2;
+        r.chunk_size = 1 + slot % 2;
+        r.priority = 1 + static_cast<unsigned>(slot % 8);
+        serve::Scheduler::Callbacks cb;
+        cb.on_record = [](std::uint64_t, const std::string&) {};
+        cb.on_complete = [out](std::uint64_t, const std::string&,
+                               const CampaignResult& result, double, double,
+                               std::size_t) {
+          {
+            std::lock_guard<std::mutex> lock(out->mutex);
+            out->result = result;
+            out->done = true;
+          }
+          out->cv.notify_all();
+        };
+        cb.on_cancelled = [out](std::uint64_t, std::size_t) {
+          {
+            std::lock_guard<std::mutex> lock(out->mutex);
+            out->cancelled = true;
+          }
+          out->cv.notify_all();
+        };
+        const serve::Admission adm = scheduler.submit(s, r, std::move(cb));
+        ASSERT_TRUE(adm.admitted) << "slot " << slot;
+        scheduler.start(adm.id);
+        // Every third request is cancelled right after release — racing
+        // the workers already executing its chunks. Either terminal
+        // outcome is legal; completion must still be byte-exact.
+        if (slot % 3 == 0) scheduler.cancel(adm.id);
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  for (auto& out : outcomes) {
+    std::unique_lock<std::mutex> lock(out->mutex);
+    out->cv.wait(lock, [&] { return out->done || out->cancelled; });
+  }
+
+  std::size_t completed = 0;
+  for (std::size_t slot = 0; slot < outcomes.size(); ++slot) {
+    auto& out = outcomes[slot];
+    std::lock_guard<std::mutex> lock(out->mutex);
+    EXPECT_NE(out->done, out->cancelled) << "slot " << slot;
+    if (!out->done) continue;
+    ++completed;
+    CampaignOptions opt;
+    opt.seed = 1000 + slot;
+    opt.trials_per_point = 2;
+    opt.chunk_size = 1 + slot % 2;
+    opt.threads = 1;
+    CampaignResult serial = run_campaign(s, opt);
+    canonicalize(serial);
+    EXPECT_EQ(to_csv(out->result), to_csv(serial)) << "slot " << slot;
+    EXPECT_EQ(to_json(out->result), to_json(serial)) << "slot " << slot;
+  }
+  // Uncancelled requests always complete; cancelled ones may have won or
+  // lost their race, but every request reached exactly one terminal
+  // state and the books balance.
+  const auto snap = stats.snapshot();
+  EXPECT_EQ(snap.requests_admitted, outcomes.size());
+  EXPECT_EQ(snap.requests_completed + snap.requests_cancelled,
+            outcomes.size());
+  EXPECT_EQ(snap.requests_completed, completed);
+  EXPECT_GE(completed, outcomes.size() - (outcomes.size() + 2) / 3);
+  EXPECT_EQ(snap.queue_depth, 0u);
+  EXPECT_EQ(snap.active_requests, 0u);
 }
 
 }  // namespace

@@ -491,7 +491,12 @@ TEST(CampaignSnapshot, WarmRunsByteIdenticalToColdForEveryPreset) {
     warm.snapshots = true;
     auto warm_result = campaign::run_campaign(s, warm);
     if (campaign::experiment_uses_deployments(s.kind)) {
-      EXPECT_GT(warm_result.snapshots_restored, 0u);
+      // Under WarmStrategy::kRestoreOnBuild a 1-thread run may satisfy
+      // every later trial by resetting its pooled deployment, so the
+      // cache's footprint is "published at least one snapshot" (and
+      // restored on any rebuild), not "restored every trial".
+      EXPECT_GT(warm_result.snapshots_restored + warm_result.snapshots_saved,
+                0u);
     }
 
     campaign::canonicalize(cold_result);

@@ -262,6 +262,22 @@ RULES: tuple[Rule, ...] = (
         ),
     ),
     Rule(
+        rule_id="raw-sockets",
+        summary="raw network / poll I/O outside the service daemon TU",
+        scope="all",
+        patterns=(
+            _p(r"#\s*include\s*<(sys/socket\.h|sys/un\.h|arpa/inet\.h|"
+               r"netinet/[\w./]+|poll\.h)>",
+               "socket and poll headers are host I/O; only the serve "
+               "layer's socket TU may talk to the network — trial and "
+               "campaign code must stay host-independent"),
+            _p(r"(?<![\w)])::(socket|bind|listen|accept|connect|recv|send|"
+               r"poll|getsockname|setsockopt|shutdown)\s*\(",
+               "direct socket syscall outside the allowlisted server TU "
+               "(qualified member functions like Foo::send are exempt)"),
+        ),
+    ),
+    Rule(
         rule_id="thread-sleep",
         summary="real-time sleep (scheduling-dependent behaviour)",
         scope="all",

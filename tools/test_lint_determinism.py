@@ -341,6 +341,50 @@ class TestRawIntrinsics(LintCase):
         self.assert_clean()
 
 
+class TestRawSockets(LintCase):
+    def test_socket_header(self):
+        self.write("src/a.cpp", """
+            #include <sys/socket.h>
+            int open_channel();
+            """)
+        self.assert_flags("raw-sockets", "sys/socket.h")
+
+    def test_global_qualified_syscall(self):
+        self.write("src/a.cpp", """
+            int push(int fd, const char* p, unsigned long n) {
+              return ::send(fd, p, n, 0);
+            }
+            """)
+        self.assert_flags("raw-sockets", "::send")
+
+    def test_member_functions_named_like_syscalls_are_fine(self):
+        self.write("src/a.cpp", """
+            #include "channel.hpp"
+            // Qualified member definitions and object calls must not trip:
+            void Channel::send(const Frame& f) { queue_.push_back(f); }
+            void Relay::poll() { drain(); }
+            void pump(Channel& c, Relay& r, const Frame& f) {
+              c.send(f);
+              r.poll();
+            }
+            """)
+        self.assert_clean()
+
+    def test_allowlisted_server_tu(self):
+        self.write("src/server.cpp", """
+            #include <sys/socket.h>
+            int open_listener() { return ::socket(2, 1, 0); }
+            """)
+        config = BASE_CONFIG + textwrap.dedent("""\
+            [rules.raw-sockets]
+            allow = [
+              { file = "src/server.cpp", reason = "the daemon socket TU" },
+            ]
+            """)
+        code, out = run_lint(self.repo, config)
+        self.assertEqual(code, 0, out)
+
+
 class TestThreadSleep(LintCase):
     def test_violation(self):
         self.write("src/a.cpp", """
@@ -412,7 +456,7 @@ class TestConfigMachinery(LintCase):
             "raw-random", "std-rng-engine", "wall-clock",
             "steady-clock-scope", "unordered-in-serializer",
             "unordered-iteration", "float-format", "to-string-serializer",
-            "raw-intrinsics", "thread-sleep",
+            "raw-intrinsics", "raw-sockets", "thread-sleep",
         }
         self.assertEqual(rules, covered,
                          "rule list and self-test fixtures diverged")
